@@ -1,0 +1,100 @@
+/// \file ablate_gather_scatter.cpp
+/// Ablation of Table 8's gather/scatter-technique dichotomy: depositing
+/// values onto bins (a) with a direct combining scatter (CMF send-add, used
+/// by pic-gather-scatter), (b) with the sort + segmented-scan +
+/// collision-free scatter pipeline (the "sophisticated" PIC technique), and
+/// (c) gather-with-sum from the bins' perspective (FORALL w/ SUM,
+/// pic-simple). The crossover the paper's design implies: sort+scan wins
+/// when collisions are dense (few bins), send-add when sparse.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/comm.hpp"
+#include "core/ops.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using namespace dpf;
+
+struct Setup {
+  Array1<double> values;
+  Array1<index_t> bin;
+  index_t nbins;
+  Setup(index_t n, index_t nbins_)
+      : values{Shape<1>(n)}, bin{Shape<1>(n)}, nbins(nbins_) {
+    const Rng rng(42);
+    assign(values, 0, [&](index_t i) {
+      return rng.uniform(static_cast<std::uint64_t>(i));
+    });
+    assign(bin, 0, [&](index_t i) {
+      return static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(i) + (1ull << 40),
+                    static_cast<std::uint64_t>(nbins_)));
+    });
+  }
+};
+
+void BM_ScatterAdd(benchmark::State& state) {
+  Setup s(state.range(0), state.range(1));
+  Array1<double> bins{Shape<1>(s.nbins), Layout<1>{}, MemKind::Temporary};
+  for (auto _ : state) {
+    fill_par(bins, 0.0);
+    comm::scatter_add_into(bins, s.values, s.bin);
+    benchmark::DoNotOptimize(bins[0]);
+  }
+}
+
+void BM_SortScanScatter(benchmark::State& state) {
+  Setup s(state.range(0), state.range(1));
+  const index_t n = state.range(0);
+  Array1<double> bins{Shape<1>(s.nbins), Layout<1>{}, MemKind::Temporary};
+  Array1<double> sorted{Shape<1>(n), Layout<1>{}, MemKind::Temporary};
+  Array1<double> scanned{Shape<1>(n), Layout<1>{}, MemKind::Temporary};
+  Array1<std::uint8_t> seg{Shape<1>(n), Layout<1>{}, MemKind::Temporary};
+  for (auto _ : state) {
+    fill_par(bins, 0.0);
+    auto perm = comm::sort_permutation(s.bin);
+    parallel_range(n, [&](index_t lo, index_t hi) {
+      for (index_t r = lo; r < hi; ++r) {
+        sorted[r] = s.values[perm[r]];
+        seg[r] = (r == 0 || s.bin[perm[r]] != s.bin[perm[r - 1]]) ? 1 : 0;
+      }
+    });
+    comm::segmented_scan_sum_into(scanned, sorted, seg);
+    // Collision-free scatter of segment totals.
+    for (index_t r = 0; r < n; ++r) {
+      const bool last = (r + 1 == n) || seg[r + 1];
+      if (last) bins[s.bin[perm[r]]] += scanned[r];
+    }
+    benchmark::DoNotOptimize(bins[0]);
+  }
+}
+
+void BM_GatherWithSum(benchmark::State& state) {
+  Setup s(state.range(0), state.range(1));
+  const index_t n = state.range(0);
+  Array1<double> bins{Shape<1>(s.nbins), Layout<1>{}, MemKind::Temporary};
+  for (auto _ : state) {
+    // From each bin's perspective: sum the masked value array (FORALL w/
+    // SUM — quadratic in the dense form, the "simple" technique).
+    parallel_range(s.nbins, [&](index_t lo, index_t hi) {
+      for (index_t b = lo; b < hi; ++b) {
+        double acc = 0;
+        for (index_t i = 0; i < n; ++i) {
+          if (s.bin[i] == b) acc += s.values[i];
+        }
+        bins[b] = acc;
+      }
+    });
+    benchmark::DoNotOptimize(bins[0]);
+  }
+}
+
+BENCHMARK(BM_ScatterAdd)->Args({1 << 14, 16})->Args({1 << 14, 1 << 12});
+BENCHMARK(BM_SortScanScatter)->Args({1 << 14, 16})->Args({1 << 14, 1 << 12});
+BENCHMARK(BM_GatherWithSum)->Args({1 << 12, 16})->Args({1 << 12, 1 << 10});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/// \file ablate_stencil.cpp
+/// Ablation of Table 8's stencil-technique dichotomy: the same 5-point
+/// Laplacian sweep implemented (a) with whole-array CSHIFT temporaries
+/// (boson/ellip-2D style), (b) with chained CSHIFTs (step4 style, relevant
+/// for wide stencils), and (c) with fused array sections (diff-2D style).
+/// Array sections avoid the shifted temporaries entirely — the expected
+/// qualitative result is sections < cshift in time and in bytes moved.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/comm.hpp"
+#include "core/ops.hpp"
+
+namespace {
+
+using namespace dpf;
+
+Array2<double> make_grid(index_t n) {
+  auto g = make_matrix<double>(n, n);
+  assign(g, 0, [&](index_t k) {
+    return std::sin(0.01 * static_cast<double>(k));
+  });
+  return g;
+}
+
+void BM_StencilCshift(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto u = make_grid(n);
+  Array2<double> out(u.shape(), u.layout(), MemKind::Temporary);
+  for (auto _ : state) {
+    auto e = comm::cshift(u, 1, +1);
+    auto w = comm::cshift(u, 1, -1);
+    auto s = comm::cshift(u, 0, +1);
+    auto nn = comm::cshift(u, 0, -1);
+    assign(out, 5, [&](index_t k) {
+      return e[k] + w[k] + s[k] + nn[k] - 4.0 * u[k];
+    });
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+
+void BM_StencilChainedCshift(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto u = make_grid(n);
+  Array2<double> out(u.shape(), u.layout(), MemKind::Temporary);
+  Array2<double> acc(u.shape(), u.layout(), MemKind::Temporary);
+  for (auto _ : state) {
+    fill_par(acc, 0.0);
+    for (std::size_t axis : {0u, 1u}) {
+      Array2<double> roll = u;
+      for (index_t d : {+1, -2}) {  // chain: +1 then back across to -1
+        auto shifted = comm::cshift(roll, axis, d);
+        roll = std::move(shifted);
+        update(acc, 1, [&](index_t k, double a) { return a + roll[k]; });
+      }
+    }
+    assign(out, 2, [&](index_t k) { return acc[k] - 4.0 * u[k]; });
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+
+void BM_StencilArraySections(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto u = make_grid(n);
+  Array2<double> out(u.shape(), u.layout(), MemKind::Temporary);
+  for (auto _ : state) {
+    comm::stencil_interior(out, u, 5, 1, 5, [&](index_t k) {
+      return u[k - n] + u[k + n] + u[k - 1] + u[k + 1] - 4.0 * u[k];
+    });
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+
+void BM_StencilPshift(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto u = make_grid(n);
+  Array2<double> out(u.shape(), u.layout(), MemKind::Temporary);
+  for (auto _ : state) {
+    const auto f = comm::pshift_faces(u);
+    assign(out, 5, [&](index_t k) {
+      return f[0][k] + f[1][k] + f[2][k] + f[3][k] - 4.0 * u[k];
+    });
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+
+BENCHMARK(BM_StencilCshift)->Arg(256)->Arg(512);
+BENCHMARK(BM_StencilChainedCshift)->Arg(256)->Arg(512);
+BENCHMARK(BM_StencilPshift)->Arg(256)->Arg(512);
+BENCHMARK(BM_StencilArraySections)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+/// \file ablate_vp_scaling.cpp
+/// Ablation: how the busy/elapsed split and the off-processor traffic of a
+/// representative kernel (ellip-2D's CG iteration) change with the
+/// virtual-processor count — the machine-model knob of DESIGN.md. More VPs
+/// on the same physical cores should keep elapsed time roughly flat while
+/// the boundary (off-processor) byte count grows with P.
+
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  const auto* def = Registry::instance().find("ellip-2D");
+  if (def == nullptr) return 1;
+
+  std::printf("%6s %12s %12s %14s %16s\n", "VPs", "busy(s)", "elapsed(s)",
+              "offproc bytes", "total comm bytes");
+  for (int p : {1, 2, 4, 8, 16}) {
+    Machine::instance().configure(p);
+    RunConfig cfg;
+    cfg.params["iters"] = 20;
+    const auto r = def->run_with_defaults(cfg);
+    index_t off = 0, tot = 0;
+    for (const auto& e : r.metrics.comm_events) {
+      off += e.offproc_bytes;
+      tot += e.bytes;
+    }
+    std::printf("%6d %12.6f %12.6f %14lld %16lld\n", p,
+                r.metrics.busy_seconds, r.metrics.elapsed_seconds,
+                static_cast<long long>(off), static_cast<long long>(tot));
+  }
+  Machine::instance().configure(Machine::default_vps());
+  return 0;
+}

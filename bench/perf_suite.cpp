@@ -1,0 +1,49 @@
+/// \file perf_suite.cpp
+/// The paper's section 1.5 performance-metric output for the whole suite:
+/// busy time, elapsed time, busy/elapsed FLOP rates, FLOP count, memory
+/// usage and communication-op count per benchmark (plus the per-segment
+/// metrics the paper reports for lu/qr factor-solve and the timed code
+/// segments of the application codes), and the arithmetic efficiency of
+/// the linear-algebra group against the calibrated machine peak.
+
+#include "bench/table_common.hpp"
+#include "core/machine.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  const double peak = Machine::instance().peak_mflops();
+  std::printf("machine: %d virtual processors, calibrated peak %.1f MFLOPS\n",
+              Machine::instance().vps(), peak);
+
+  bench::title("DPF performance metrics (section 1.5)");
+  std::printf("%-20s %10s %10s %10s %10s %12s %10s %7s\n", "benchmark",
+              "busy(s)", "elapsed(s)", "busyMF/s", "elapMF/s", "FLOPs",
+              "mem(B)", "eff(%)");
+  bench::rule(110);
+
+  for (Group g : {Group::Communication, Group::LinearAlgebra,
+                  Group::Application}) {
+    for (const auto* def : Registry::instance().by_group(g)) {
+      const auto r = def->run_with_defaults(RunConfig{});
+      const auto& m = r.metrics;
+      const bool la = g == Group::LinearAlgebra;
+      std::printf("%-20s %10.5f %10.5f %10.2f %10.2f %12lld %10lld",
+                  def->name.c_str(), m.busy_seconds, m.elapsed_seconds,
+                  m.busy_mflops(), m.elapsed_mflops(),
+                  static_cast<long long>(m.flop_count),
+                  static_cast<long long>(m.memory_bytes));
+      if (la) {
+        std::printf(" %7.2f", m.arithmetic_efficiency_pct(peak));
+      }
+      std::printf("\n");
+      for (const auto& [seg, sm] : r.segments) {
+        std::printf("  %-18s %10.5f %10.5f %10.2f %10.2f %12lld\n",
+                    seg.c_str(), sm.busy_seconds, sm.elapsed_seconds,
+                    sm.busy_mflops(), sm.elapsed_mflops(),
+                    static_cast<long long>(sm.flop_count));
+      }
+    }
+  }
+  return 0;
+}

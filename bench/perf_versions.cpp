@@ -1,0 +1,100 @@
+/// \file perf_versions.cpp
+/// The reason the suite ships multiple code versions (section 1.2): the
+/// optimized/library formulations should beat the basic whole-array one.
+/// Google-benchmark timings of matrix-vector basic vs optimized/library at
+/// several sizes — the crossover structure (library wins at large n) is
+/// the qualitative result to preserve.
+
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+namespace {
+
+void run_matvec(benchmark::State& state, dpf::Version version) {
+  dpf::register_all_benchmarks();
+  const auto* def = dpf::Registry::instance().find("matrix-vector");
+  dpf::RunConfig cfg;
+  cfg.version = version;
+  cfg.params["n"] = state.range(0);
+  cfg.params["m"] = state.range(0);
+  cfg.params["iters"] = 4;
+  double mflops = 0;
+  for (auto _ : state) {
+    const auto r = def->run_with_defaults(cfg);
+    mflops = r.metrics.elapsed_mflops();
+    benchmark::DoNotOptimize(r.metrics.flop_count);
+  }
+  state.counters["MFLOPS"] = mflops;
+}
+
+void BM_MatvecBasic(benchmark::State& state) {
+  run_matvec(state, dpf::Version::Basic);
+}
+void BM_MatvecOptimized(benchmark::State& state) {
+  run_matvec(state, dpf::Version::Optimized);
+}
+void BM_MatvecLibrary(benchmark::State& state) {
+  run_matvec(state, dpf::Version::Library);
+}
+
+BENCHMARK(BM_MatvecBasic)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatvecOptimized)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatvecLibrary)->Arg(64)->Arg(128)->Arg(256);
+
+void run_named(benchmark::State& state, const char* name, dpf::Version v,
+               std::map<std::string, dpf::index_t> params) {
+  dpf::register_all_benchmarks();
+  const auto* def = dpf::Registry::instance().find(name);
+  dpf::RunConfig cfg;
+  cfg.version = v;
+  cfg.params = std::move(params);
+  for (auto _ : state) {
+    const auto r = def->run_with_defaults(cfg);
+    benchmark::DoNotOptimize(r.metrics.flop_count);
+  }
+}
+
+void BM_ConjGradBasic(benchmark::State& s) {
+  run_named(s, "conj-grad", dpf::Version::Basic, {{"n", s.range(0)}});
+}
+void BM_ConjGradOptimized(benchmark::State& s) {
+  run_named(s, "conj-grad", dpf::Version::Optimized, {{"n", s.range(0)}});
+}
+BENCHMARK(BM_ConjGradBasic)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_ConjGradOptimized)->Arg(1024)->Arg(4096);
+
+void BM_FftBasicCshiftLadder(benchmark::State& s) {
+  run_named(s, "fft", dpf::Version::Basic,
+            {{"n", s.range(0)}, {"dims", 1}, {"iters", 2}});
+}
+void BM_FftOptimized(benchmark::State& s) {
+  run_named(s, "fft", dpf::Version::Optimized,
+            {{"n", s.range(0)}, {"dims", 1}, {"iters", 2}});
+}
+BENCHMARK(BM_FftBasicCshiftLadder)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_FftOptimized)->Arg(1024)->Arg(4096);
+
+void BM_GmoBasic(benchmark::State& s) {
+  run_named(s, "gmo", dpf::Version::Basic, {{"ns", s.range(0)}});
+}
+void BM_GmoTableDriven(benchmark::State& s) {
+  run_named(s, "gmo", dpf::Version::Optimized, {{"ns", s.range(0)}});
+}
+BENCHMARK(BM_GmoBasic)->Arg(512)->Arg(2048);
+BENCHMARK(BM_GmoTableDriven)->Arg(512)->Arg(2048);
+
+void BM_MdBasic(benchmark::State& s) {
+  run_named(s, "md", dpf::Version::Basic, {{"np", s.range(0)}, {"iters", 2}});
+}
+void BM_MdSymmetric(benchmark::State& s) {
+  run_named(s, "md", dpf::Version::Optimized,
+            {{"np", s.range(0)}, {"iters", 2}});
+}
+BENCHMARK(BM_MdBasic)->Arg(64)->Arg(128);
+BENCHMARK(BM_MdSymmetric)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+/// \file table1_versions.cpp
+/// Regenerates Table 1: the benchmark-suite code-version matrix.
+/// Availability is reconstructed from the registry (the checkmark positions
+/// in the published scan are partially illegible; see EXPERIMENTS.md).
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title("Table 1. Benchmark suite code versions");
+  std::printf("%-22s %-7s %-10s %-8s %-6s %-8s\n", "Benchmark Name", "basic",
+              "optimized", "library", "CMSSL", "C/DPEAC");
+  bench::rule();
+  std::size_t total = 0;
+  for (const auto* def : Registry::instance().all()) {
+    std::printf("%-22s %-7s %-10s %-8s %-6s %-8s\n", def->name.c_str(),
+                def->has_version(Version::Basic) ? "x" : "",
+                def->has_version(Version::Optimized) ? "x" : "",
+                def->has_version(Version::Library) ? "x" : "",
+                def->has_version(Version::CMSSL) ? "x" : "",
+                def->has_version(Version::CDpeac) ? "x" : "");
+    ++total;
+  }
+  bench::rule();
+  std::printf("%zu benchmarks (paper: 32)\n", total);
+  return total == 32 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+/// \file table2_la_layout.cpp
+/// Regenerates Table 2: data representation and layout for the dominating
+/// computations in the linear-algebra kernels.
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title(
+      "Table 2. Data representation and layout for dominating computations "
+      "in linear algebra kernels");
+  std::printf("%-16s %s\n", "Code",
+              "Arrays (\":serial\" for local axes, \":\" for parallel axes)");
+  bench::rule();
+  for (const char* name : {"matrix-vector", "lu", "qr", "gauss-jordan", "pcr",
+                           "conj-grad", "jacobi", "fft"}) {
+    const auto* def = Registry::instance().find(name);
+    if (def == nullptr) return 1;
+    bool first = true;
+    int variant = 1;
+    for (const auto& layout : def->layouts) {
+      if (def->layouts.size() > 1) {
+        std::printf("%-16s (%d) %s\n", first ? name : "", variant++,
+                    layout.c_str());
+      } else {
+        std::printf("%-16s %s\n", name, layout.c_str());
+      }
+      first = false;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file table3_la_comm.cpp
+/// Regenerates Table 3: communication patterns of the linear-algebra
+/// kernels, classified by pattern and array rank — harvested from the
+/// instrumented communication log of a live run of every kernel.
+
+#include <set>
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title("Table 3. Communication of linear algebra kernels (measured)");
+
+  // pattern -> rank-class -> set of benchmark names.
+  std::map<CommPattern, std::map<int, std::set<std::string>>> table;
+
+  for (const auto* def : Registry::instance().by_group(Group::LinearAlgebra)) {
+    // Small runs; fft in all three dimensionalities.
+    std::vector<RunConfig> cfgs;
+    if (def->name == "fft") {
+      for (index_t d : {1, 2, 3}) {
+        RunConfig c;
+        c.params["dims"] = d;
+        c.params["n"] = d == 3 ? 8 : 32;
+        c.params["iters"] = 1;
+        cfgs.push_back(c);
+      }
+    } else {
+      RunConfig c;
+      c.params["n"] = 16;
+      c.params["m"] = 16;
+      c.params["iters"] = 1;
+      cfgs.push_back(c);
+    }
+    int variant = 0;
+    for (const auto& cfg : cfgs) {
+      ++variant;
+      const auto r = def->run_with_defaults(cfg);
+      std::string label = def->name;
+      if (def->name == "fft") label += " " + std::to_string(variant) + "-D";
+      for (const auto& e : r.metrics.comm_events) {
+        const int rank = std::max(e.src_rank, e.dst_rank);
+        table[e.pattern][rank].insert(label);
+      }
+    }
+  }
+
+  std::printf("%-14s %-6s %s\n", "Pattern", "Rank", "Codes");
+  bench::rule();
+  for (const auto& [pattern, by_rank] : table) {
+    for (const auto& [rank, names] : by_rank) {
+      std::string joined;
+      for (const auto& n : names) {
+        if (!joined.empty()) joined += ", ";
+        joined += n;
+      }
+      std::printf("%-14s %-6d %s\n", std::string(to_string(pattern)).c_str(),
+                  rank, joined.c_str());
+    }
+  }
+  std::printf(
+      "\nPaper rows for comparison: Reduction/Broadcast <- matrix-vector, "
+      "gauss-jordan, qr, lu, jacobi; AAPC <- fft; cshift <- conj-grad, "
+      "jacobi, fft, pcr; Send/Get <- gauss-jordan, jacobi.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file table4_la_ratio.cpp
+/// Regenerates Table 4: computation-to-communication ratio in the main loop
+/// of the linear-algebra codes — the paper's per-iteration FLOP formula
+/// next to the measured per-iteration count, memory usage, the measured
+/// communication inventory, and the local-memory-access class.
+
+#include "bench/table_common.hpp"
+
+namespace {
+
+struct Row {
+  const char* name;
+  const char* paper_flops;
+  const char* paper_mem;
+  const char* paper_comm;
+  dpf::index_t iters;  // main-loop iterations of the default run
+};
+
+}  // namespace
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title(
+      "Table 4. Computation to communication ratio in the main loop of "
+      "linear algebra library codes (paper formula vs measured)");
+
+  const auto* mv = Registry::instance().find("matrix-vector");
+  const auto* lu = Registry::instance().find("lu");
+  const auto* qr = Registry::instance().find("qr");
+  const auto* gj = Registry::instance().find("gauss-jordan");
+  const auto* pcr = Registry::instance().find("pcr");
+  const auto* cg = Registry::instance().find("conj-grad");
+  const auto* jac = Registry::instance().find("jacobi");
+  const auto* fft = Registry::instance().find("fft");
+  if (!mv || !lu || !qr || !gj || !pcr || !cg || !jac || !fft) return 1;
+
+  std::printf("%-15s %-24s %14s %14s | %12s %12s | %-10s\n", "Code",
+              "paper FLOPs/iter", "model", "measured", "model mem",
+              "meas. mem", "access");
+  bench::rule(116);
+
+  struct Spec {
+    const BenchmarkDef* def;
+    const char* paper;
+    std::map<std::string, index_t> params;
+    double iters;
+  };
+  const std::vector<Spec> specs = {
+      {mv, "2nm", {{"n", 64}, {"m", 64}, {"iters", 4}}, 4},
+      {lu, "2/3 n^2 (factor)", {{"n", 64}, {"r", 2}}, 64},
+      {qr, "(5.5m-0.5n)n", {{"m", 64}, {"n", 32}, {"r", 2}}, 32},
+      {gj, "n + 2 + 2n^2", {{"n", 64}}, 64},
+      {pcr, "(5r+12)n", {{"n", 128}, {"r", 2}}, 7},
+      {cg, "15n", {{"n", 256}, {"iters", 16}}, -1},  // from checks
+      {jac, "6n^2 + 26n", {{"n", 16}, {"rounds", 30}}, -1},
+      {fft, "5n (per stage)", {{"n", 64}, {"dims", 1}, {"iters", 1}}, 12},
+  };
+
+  for (const auto& s : specs) {
+    RunConfig cfg;
+    cfg.params = s.params;
+    const auto r = s.def->run_with_defaults(cfg);
+    const auto m = s.def->model_with_defaults(cfg);
+    double iters = s.iters;
+    if (iters < 0) iters = r.checks.at("iterations");
+    const double measured =
+        static_cast<double>(r.metrics.flop_count) / std::max(iters, 1.0);
+    std::printf("%-15s %-24s %14.4g %14.4g | %12lld %12lld | %-10s\n",
+                s.def->name.c_str(), s.paper, m.flops_per_iter, measured,
+                static_cast<long long>(m.memory_bytes),
+                static_cast<long long>(r.metrics.memory_bytes),
+                std::string(to_string(s.def->local_access)).c_str());
+    std::printf("%-15s   comm/iter: %s\n", "",
+                bench::comm_summary(r.metrics.comm_events, iters).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// \file table5_app_layout.cpp
+/// Regenerates Table 5: data representation and layout for the dominating
+/// computations in the application codes.
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title(
+      "Table 5. Data representation and layout for dominating computations "
+      "in the Application codes");
+  std::printf("%-20s %s\n", "Code",
+              "Arrays (\":serial\" for local axes, \":\" for parallel axes)");
+  bench::rule();
+  std::size_t count = 0;
+  for (const auto* def : Registry::instance().by_group(Group::Application)) {
+    bool first = true;
+    for (const auto& layout : def->layouts) {
+      std::printf("%-20s %s\n", first ? def->name.c_str() : "",
+                  layout.c_str());
+      first = false;
+    }
+    ++count;
+  }
+  bench::rule();
+  std::printf("%zu application codes (paper: 20)\n", count);
+  return count == 20 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+/// \file table6_app_ratio.cpp
+/// Regenerates Table 6: computation-to-communication ratio in the main loop
+/// of the application codes — the paper's published formulas next to the
+/// measured per-iteration FLOP count, memory usage and communication
+/// inventory of a live instrumented run.
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title(
+      "Table 6. Computation to communication ratio in the main loop of the "
+      "Application codes (paper vs measured)");
+
+  for (const auto* def : Registry::instance().by_group(Group::Application)) {
+    RunConfig cfg;
+    const auto r = def->run_with_defaults(cfg);
+    double iters = 1.0;
+    if (const auto it = r.checks.find("iterations"); it != r.checks.end()) {
+      iters = it->second;
+    } else if (const auto it2 = def->default_params.find("iters");
+               it2 != def->default_params.end()) {
+      iters = static_cast<double>(it2->second);
+    }
+    const double measured =
+        static_cast<double>(r.metrics.flop_count) / std::max(iters, 1.0);
+    std::printf("%-20s\n", def->name.c_str());
+    std::printf("  paper FLOPs/iter : %s\n", def->paper_flops.empty()
+                                                 ? "(see Table 6)"
+                                                 : def->paper_flops.c_str());
+    if (def->model) {
+      const auto m = def->model_with_defaults(cfg);
+      std::printf("  model FLOPs/iter : %.6g\n", m.flops_per_iter);
+      std::printf("  measured /iter   : %.6g   (x%.2f of model)\n", measured,
+                  m.flops_per_iter > 0 ? measured / m.flops_per_iter : 0.0);
+      std::printf("  paper memory     : %s\n",
+                  def->paper_memory.empty() ? "-" : def->paper_memory.c_str());
+      std::printf("  model / measured memory: %lld / %lld bytes\n",
+                  static_cast<long long>(m.memory_bytes),
+                  static_cast<long long>(r.metrics.memory_bytes));
+    }
+    std::printf("  paper comm/iter  : %s\n",
+                def->paper_comm.empty() ? "-" : def->paper_comm.c_str());
+    std::printf("  measured comm/iter: %s\n",
+                bench::comm_summary(r.metrics.comm_events, iters).c_str());
+    std::printf("  local access     : %s\n\n",
+                std::string(to_string(def->local_access)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+/// \file table7_app_comm.cpp
+/// Regenerates Table 7: the communication-pattern inventory of the
+/// application codes, classified by pattern and array rank, harvested from
+/// instrumented runs.
+
+#include <set>
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title("Table 7. Communication patterns in application codes "
+               "(measured)");
+
+  std::map<CommPattern, std::map<int, std::set<std::string>>> table;
+  for (const auto* def : Registry::instance().by_group(Group::Application)) {
+    RunConfig cfg;
+    cfg.params["iters"] = 1;
+    const auto r = def->run_with_defaults(cfg);
+    for (const auto& e : r.metrics.comm_events) {
+      const int rank = std::max(e.src_rank, e.dst_rank);
+      table[e.pattern][rank].insert(def->name);
+    }
+  }
+
+  std::printf("%-20s %-6s %s\n", "Pattern", "Rank", "Codes");
+  bench::rule(110);
+  for (const auto& [pattern, by_rank] : table) {
+    for (const auto& [rank, names] : by_rank) {
+      std::string joined;
+      for (const auto& n : names) {
+        if (!joined.empty()) joined += ", ";
+        joined += n;
+      }
+      std::printf("%-20s %-6d %s\n", std::string(to_string(pattern)).c_str(),
+                  rank, joined.c_str());
+    }
+  }
+  return 0;
+}

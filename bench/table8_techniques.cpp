@@ -1,0 +1,33 @@
+/// \file table8_techniques.cpp
+/// Regenerates Table 8: implementation techniques for the stencil,
+/// gather/scatter and AABC communication patterns, from registry metadata.
+
+#include "bench/table_common.hpp"
+
+int main() {
+  dpf::register_all_benchmarks();
+  using namespace dpf;
+  bench::title(
+      "Table 8. Implementation techniques for stencil, gather/scatter and "
+      "AABC communication");
+  std::printf("%-22s %-22s %s\n", "Communication Pattern", "Code",
+              "Implementation Technique");
+  bench::rule(100);
+
+  // pattern-name -> [(code, technique)].
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>> rows;
+  for (const auto* def : Registry::instance().all()) {
+    for (const auto& [pattern, technique] : def->techniques) {
+      rows[pattern].emplace_back(def->name, technique);
+    }
+  }
+  for (const auto& [pattern, codes] : rows) {
+    bool first = true;
+    for (const auto& [code, technique] : codes) {
+      std::printf("%-22s %-22s %s\n", first ? pattern.c_str() : "",
+                  code.c_str(), technique.c_str());
+      first = false;
+    }
+  }
+  return 0;
+}

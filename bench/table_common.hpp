@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file table_common.hpp
+/// Shared formatting helpers for the table-regeneration binaries: each
+/// bench/table*_  binary reprints one table of the paper from the live
+/// implementation (registry metadata and instrumented runs).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf::bench {
+
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void title(const std::string& t) {
+  std::printf("\n%s\n", t.c_str());
+  rule(static_cast<int>(t.size()));
+}
+
+/// Aggregates a run's events into pattern -> (src rank, dst rank) -> count.
+inline std::map<CommPattern, std::map<std::pair<int, int>, index_t>>
+aggregate(const std::vector<CommEvent>& events) {
+  std::map<CommPattern, std::map<std::pair<int, int>, index_t>> out;
+  for (const CommEvent& e : events) {
+    ++out[e.pattern][{e.src_rank, e.dst_rank}];
+  }
+  return out;
+}
+
+/// Human-readable count summary like "12 CSHIFT, 2 Reduction".
+inline std::string comm_summary(const std::vector<CommEvent>& events,
+                                double per = 1.0) {
+  std::map<CommPattern, double> counts;
+  for (const CommEvent& e : events) counts[e.pattern] += 1.0;
+  std::string s;
+  for (const auto& [p, c] : counts) {
+    if (!s.empty()) s += ", ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g %s", c / per,
+                  std::string(to_string(p)).c_str());
+    s += buf;
+  }
+  return s.empty() ? "none" : s;
+}
+
+}  // namespace dpf::bench

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file broadcast.hpp
+/// Broadcast and SPREAD — one-to-many replication.
+///
+/// `broadcast_fill` replicates a scalar over an array (a front-end-to-nodes
+/// broadcast on the CM-5). `spread_into` replicates a rank-(R-1) array along
+/// a new axis, the Fortran-90 SPREAD intrinsic; the paper's tables label the
+/// same data motion "1-D to 2-D Broadcast" in some codes (jacobi,
+/// matrix-vector) and "SPREAD" in others (md, n-body), so the recorded
+/// pattern is a parameter.
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::comm {
+
+/// Replicates a scalar over every element of dst; recorded as a Broadcast
+/// from rank 0 (scalar) to rank R.
+template <typename T, std::size_t R>
+void broadcast_fill(Array<T, R>& dst, T value) {
+  fill_par(dst, value);
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::Broadcast, 0, static_cast<int>(R), dst.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+}
+
+/// dst(..., j at `axis`, ...) = src(...) for every j: SPREAD along `axis`.
+/// dst's shape with `axis` removed must equal src's shape.
+template <typename T, std::size_t R>
+  requires(R >= 2)
+void spread_into(Array<T, R>& dst, const Array<T, R - 1>& src,
+                 std::size_t axis, CommPattern pattern = CommPattern::Spread) {
+  assert(axis < R);
+  const index_t n = dst.extent(axis);
+  const auto strides = dst.shape().strides();
+  const index_t st = strides[axis];
+  const index_t inner = st;
+  const index_t outer = dst.size() / (n * inner);
+  assert(src.size() == outer * inner);
+
+  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+    for (index_t oi = lo; oi < hi; ++oi) {
+      const index_t o = oi / inner;
+      const index_t i = oi % inner;
+      const index_t base = o * n * inner + i;
+      const T v = src[oi];
+      for (index_t j = 0; j < n; ++j) dst[base + j * st] = v;
+    }
+  });
+
+  // Replication along the distributed axis sends one copy of src to every
+  // VP that does not own it.
+  const int p = Machine::instance().vps();
+  const index_t offproc = (dst.layout().distributed_axis() == axis && p > 1)
+                              ? src.bytes() * (p - 1) / p
+                              : 0;
+  detail::record(pattern, static_cast<int>(R - 1), static_cast<int>(R),
+                 dst.bytes(), offproc);
+}
+
+/// Returns SPREAD(src, axis, copies) as a library temporary.
+template <typename T, std::size_t R>
+[[nodiscard]] Array<T, R + 1> spread(const Array<T, R>& src, std::size_t axis,
+                                     index_t copies,
+                                     CommPattern pattern = CommPattern::Spread) {
+  std::array<index_t, R + 1> ext{};
+  for (std::size_t a = 0, w = 0; a < R + 1; ++a) {
+    ext[a] = (a == axis) ? copies : src.extent(w++);
+  }
+  Array<T, R + 1> dst(Shape<R + 1>(ext), Layout<R + 1>{}, MemKind::Temporary);
+  spread_into(dst, src, axis, pattern);
+  return dst;
+}
+
+}  // namespace dpf::comm

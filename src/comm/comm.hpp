@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file comm.hpp
+/// Umbrella header for the DPF collective-communication library
+/// (paper section 2 and the primitives of Tables 7/8).
+
+#include "comm/broadcast.hpp"    // IWYU pragma: export
+#include "comm/cshift.hpp"       // IWYU pragma: export
+#include "comm/gather_scatter.hpp"  // IWYU pragma: export
+#include "comm/pshift.hpp"       // IWYU pragma: export
+#include "comm/reduce.hpp"       // IWYU pragma: export
+#include "comm/scan.hpp"         // IWYU pragma: export
+#include "comm/sort.hpp"         // IWYU pragma: export
+#include "comm/stencil.hpp"      // IWYU pragma: export
+#include "comm/transpose.hpp"    // IWYU pragma: export

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file cshift.hpp
+/// Circular and end-off shifts — the workhorse communication primitives of
+/// grid-based DPF codes (Tables 7 and 8: boson, ellip-2D, rp, step4,
+/// qcd-kernel, mdcell, wave-1D all build their stencils from CSHIFTs).
+///
+/// Semantics follow Fortran-90 CSHIFT/EOSHIFT: `cshift(a, axis, s)` yields
+/// r(i) = a((i + s) mod n) along `axis`. A shift along the array's
+/// distributed axis moves data between virtual processors; shifts along
+/// serial axes are local memory moves. Both are recorded; the off-processor
+/// byte count reflects the block distribution.
+
+#include <utility>
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::comm {
+
+/// dst = cshift(src, axis, s). dst must have src's shape.
+template <typename T, std::size_t R>
+void cshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
+                 index_t s, CommPattern pattern = CommPattern::CShift) {
+  assert(dst.shape() == src.shape());
+  assert(axis < R);
+  const index_t n = src.extent(axis);
+  if (n == 0) return;
+  const auto strides = src.shape().strides();
+  const index_t st = strides[axis];
+  // Normalize the shift into [0, n).
+  index_t sh = s % n;
+  if (sh < 0) sh += n;
+
+  // Decompose linear space as (outer, j, inner): outer covers axes before
+  // `axis`, inner covers axes after it.
+  const index_t inner = st;
+  const index_t outer = src.size() / (n * inner);
+
+  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+    for (index_t oi = lo; oi < hi; ++oi) {
+      const index_t o = oi / inner;
+      const index_t i = oi % inner;
+      const index_t base = o * n * inner + i;
+      for (index_t j = 0; j < n; ++j) {
+        const index_t jj = j + sh < n ? j + sh : j + sh - n;
+        dst[base + j * st] = src[base + jj * st];
+      }
+    }
+  });
+
+  index_t offproc = 0;
+  const int procs_here = src.layout().procs_on_axis(
+      axis, Machine::instance().vps());
+  if (procs_here > 1 && sh != 0) {
+    const index_t moved = detail::moved_slots(
+        n, [&](index_t j) { return (j + sh) % n; }, src.layout().dist(),
+        procs_here);
+    // Elements sharing one coordinate along the shifted axis.
+    offproc = moved * (src.bytes() / n);
+  }
+  detail::record(pattern, static_cast<int>(R), static_cast<int>(R),
+                 src.bytes(), offproc);
+}
+
+/// Returns cshift(src, axis, s) as a library temporary.
+template <typename T, std::size_t R>
+[[nodiscard]] Array<T, R> cshift(const Array<T, R>& src, std::size_t axis,
+                                 index_t s) {
+  Array<T, R> dst(src.shape(), src.layout(), MemKind::Temporary);
+  cshift_into(dst, src, axis, s);
+  return dst;
+}
+
+/// dst = eoshift(src, axis, s, boundary): elements shifted past the end are
+/// dropped; vacated positions take `boundary`.
+template <typename T, std::size_t R>
+void eoshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
+                  index_t s, T boundary) {
+  assert(dst.shape() == src.shape());
+  assert(axis < R);
+  const index_t n = src.extent(axis);
+  if (n == 0) return;
+  const auto strides = src.shape().strides();
+  const index_t st = strides[axis];
+  const index_t inner = st;
+  const index_t outer = src.size() / (n * inner);
+
+  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+    for (index_t oi = lo; oi < hi; ++oi) {
+      const index_t o = oi / inner;
+      const index_t i = oi % inner;
+      const index_t base = o * n * inner + i;
+      for (index_t j = 0; j < n; ++j) {
+        const index_t jj = j + s;
+        dst[base + j * st] =
+            (jj >= 0 && jj < n) ? src[base + jj * st] : boundary;
+      }
+    }
+  });
+
+  index_t offproc = 0;
+  const int procs_here = src.layout().procs_on_axis(
+      axis, Machine::instance().vps());
+  if (procs_here > 1 && s != 0) {
+    const index_t moved = detail::moved_slots(
+        n,
+        [&](index_t j) {
+          const index_t jj = j + s;
+          return (jj >= 0 && jj < n) ? jj : j;  // boundary fills are local
+        },
+        src.layout().dist(), procs_here);
+    offproc = moved * (src.bytes() / n);
+  }
+  detail::record(CommPattern::EOShift, static_cast<int>(R),
+                 static_cast<int>(R), src.bytes(), offproc);
+}
+
+/// Returns eoshift(src, axis, s, boundary) as a library temporary.
+template <typename T, std::size_t R>
+[[nodiscard]] Array<T, R> eoshift(const Array<T, R>& src, std::size_t axis,
+                                  index_t s, T boundary) {
+  Array<T, R> dst(src.shape(), src.layout(), MemKind::Temporary);
+  eoshift_into(dst, src, axis, s, boundary);
+  return dst;
+}
+
+}  // namespace dpf::comm

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file detail.hpp
+/// Shared helpers for the collective-communication library: ownership
+/// classification of data movement under the block distribution of an
+/// array's distributed axis.
+
+#include "core/array.hpp"
+#include "core/comm_log.hpp"
+#include "core/machine.hpp"
+
+namespace dpf::comm::detail {
+
+/// Number of positions j in [0,n) whose owner under the given distribution
+/// over `procs` processors (the machine VP count when 0) differs from the
+/// owner of perm(j).
+template <typename PermFn>
+[[nodiscard]] index_t moved_slots(index_t n, PermFn&& perm,
+                                  Dist d = Dist::Block, int procs = 0) {
+  const int p = procs > 0 ? procs : Machine::instance().vps();
+  if (p <= 1 || n == 0) return 0;
+  index_t moved = 0;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t k = perm(j);
+    if (owner_of(n, p, j, d) != owner_of(n, p, k, d)) ++moved;
+  }
+  return moved;
+}
+
+/// Encoded owner id of the element at `coord` of array `a`, combining the
+/// per-axis owners of every distributed axis (explicit grid when set, the
+/// outermost-parallel-axis fold otherwise).
+template <typename T, std::size_t R>
+[[nodiscard]] int owner_id(const Array<T, R>& a,
+                           const std::array<index_t, R>& coord) {
+  const int p = Machine::instance().vps();
+  if (p <= 1) return 0;
+  const auto& layout = a.layout();
+  int id = 0;
+  for (std::size_t ax = 0; ax < R; ++ax) {
+    const int g = layout.procs_on_axis(ax, p);
+    if (g <= 1) continue;
+    id = id * g + owner_of(a.extent(ax), g, coord[ax], layout.dist());
+  }
+  return id;
+}
+
+/// Encoded owner id of linear element i of array a.
+template <typename T, std::size_t R>
+[[nodiscard]] int owner_id_linear(const Array<T, R>& a, index_t i) {
+  const auto strides = a.shape().strides();
+  std::array<index_t, R> coord{};
+  for (std::size_t ax = 0; ax < R; ++ax) {
+    coord[ax] = (i / strides[ax]) % a.extent(ax);
+  }
+  return owner_id(a, coord);
+}
+
+/// Owner of position i on the distributed axis of extent n; 0 if n == 0.
+[[nodiscard]] inline int owner(index_t n, index_t i, Dist d = Dist::Block) {
+  const int p = Machine::instance().vps();
+  return (p <= 1 || n == 0) ? 0 : owner_of(n, p, i, d);
+}
+
+/// Bytes per distributed-axis slot of an array: total bytes / extent of the
+/// distributed axis (or all bytes when the array has no parallel axis).
+template <typename T, std::size_t R>
+[[nodiscard]] index_t slot_bytes(const Array<T, R>& a) {
+  const index_t d = a.distributed_extent();
+  return d > 0 ? a.bytes() / d : 0;
+}
+
+/// Records one event on the global log.
+inline void record(CommPattern pattern, int src_rank, int dst_rank,
+                   index_t bytes, index_t offproc_bytes, index_t detail = 0) {
+  CommLog::instance().record(
+      CommEvent{pattern, src_rank, dst_rank, bytes, offproc_bytes, detail});
+}
+
+}  // namespace dpf::comm::detail

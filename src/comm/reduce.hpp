@@ -1,0 +1,287 @@
+#pragma once
+
+/// \file reduce.hpp
+/// Global and per-axis reductions.
+///
+/// Reductions are counted at their sequential FLOP cost, N-1 for N elements
+/// (paper section 1.5, attribute 1), and recorded as CommPattern::Reduction
+/// with the source/destination array ranks the paper's tables use (e.g.
+/// "3 2-D to 1-D Reductions" in md, "Reductions 2-D to scalar" in qmc).
+
+#include <algorithm>
+#include <vector>
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::comm {
+
+/// Full sum-reduction to a scalar.
+template <typename T, std::size_t R>
+[[nodiscard]] T reduce_sum(const Array<T, R>& a) {
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  for_each_block(n, [&](int vp, Block b) {
+    T acc{};
+    for (index_t i = b.begin; i < b.end; ++i) acc += a[i];
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total{};
+  for (const T& v : partial) total += v;
+  flops::add_reduction(n);
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// Inner product sum(a*b): n multiplies plus an (n-1)-FLOP reduction.
+template <typename T, std::size_t R>
+[[nodiscard]] T dot(const Array<T, R>& a, const Array<T, R>& b) {
+  assert(a.size() == b.size());
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  for_each_block(n, [&](int vp, Block blk) {
+    T acc{};
+    for (index_t i = blk.begin; i < blk.end; ++i) acc += a[i] * b[i];
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total{};
+  for (const T& v : partial) total += v;
+  flops::add(flops::Kind::AddSubMul, n);  // the elementwise products
+  flops::add_reduction(n);
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// Full max-reduction (counted N-1 like any reduction).
+template <typename T, std::size_t R>
+[[nodiscard]] T reduce_max(const Array<T, R>& a) {
+  assert(a.size() > 0);
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), a[0]);
+  for_each_block(n, [&](int vp, Block b) {
+    T acc = a[b.begin];
+    for (index_t i = b.begin + 1; i < b.end; ++i) acc = std::max(acc, a[i]);
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total = partial[0];
+  for (const T& v : partial) total = std::max(total, v);
+  flops::add_reduction(n);
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// Full min-reduction.
+template <typename T, std::size_t R>
+[[nodiscard]] T reduce_min(const Array<T, R>& a) {
+  assert(a.size() > 0);
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), a[0]);
+  for_each_block(n, [&](int vp, Block b) {
+    T acc = a[b.begin];
+    for (index_t i = b.begin + 1; i < b.end; ++i) acc = std::min(acc, a[i]);
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total = partial[0];
+  for (const T& v : partial) total = std::min(total, v);
+  flops::add_reduction(n);
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// Max-of-absolute-values reduction (the usual convergence check).
+template <typename T, std::size_t R>
+[[nodiscard]] T reduce_absmax(const Array<T, R>& a) {
+  assert(a.size() > 0);
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  for_each_block(n, [&](int vp, Block b) {
+    T acc{};
+    for (index_t i = b.begin; i < b.end; ++i) acc = std::max(acc, std::abs(a[i]));
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total{};
+  for (const T& v : partial) total = std::max(total, v);
+  flops::add_reduction(n);
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// Index of the maximum element of a rank-1 array (MAXLOC). Recorded as a
+/// Reduction; counted N-1.
+template <typename T>
+[[nodiscard]] index_t maxloc(const Array<T, 1>& a) {
+  assert(a.size() > 0);
+  index_t best = 0;
+  for (index_t i = 1; i < a.size(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  flops::add_reduction(a.size());
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::Reduction, 1, 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return best;
+}
+
+/// Product reduction (the PRODUCT intrinsic): counted N-1 like any
+/// reduction.
+template <typename T, std::size_t R>
+[[nodiscard]] T reduce_product(const Array<T, R>& a) {
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), T{1});
+  for_each_block(n, [&](int vp, Block b) {
+    T acc{1};
+    for (index_t i = b.begin; i < b.end; ++i) acc *= a[i];
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total{1};
+  for (const T& v : partial) total *= v;
+  flops::add_reduction(n);
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// The HPF ANY intrinsic: true if any mask element is set. A logical
+/// reduction — recorded, no FLOPs.
+template <std::size_t R>
+[[nodiscard]] bool any(const Array<std::uint8_t, R>& mask) {
+  const int p = Machine::instance().vps();
+  std::vector<std::uint8_t> partial(static_cast<std::size_t>(p), 0);
+  for_each_block(mask.size(), [&](int vp, Block b) {
+    std::uint8_t acc = 0;
+    for (index_t i = b.begin; i < b.end && !acc; ++i) acc |= mask[i];
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  bool result = false;
+  for (auto v : partial) result = result || v;
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, mask.bytes(),
+                 (p - 1));
+  return result;
+}
+
+/// The HPF ALL intrinsic: true if every mask element is set.
+template <std::size_t R>
+[[nodiscard]] bool all(const Array<std::uint8_t, R>& mask) {
+  const int p = Machine::instance().vps();
+  std::vector<std::uint8_t> partial(static_cast<std::size_t>(p), 1);
+  for_each_block(mask.size(), [&](int vp, Block b) {
+    std::uint8_t acc = 1;
+    for (index_t i = b.begin; i < b.end && acc; ++i) {
+      acc = static_cast<std::uint8_t>(acc && mask[i]);
+    }
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  bool result = true;
+  for (auto v : partial) result = result && v;
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, mask.bytes(),
+                 (p - 1));
+  return result;
+}
+
+/// The HPF COUNT intrinsic: number of set mask elements.
+template <std::size_t R>
+[[nodiscard]] index_t count_true(const Array<std::uint8_t, R>& mask) {
+  const int p = Machine::instance().vps();
+  std::vector<index_t> partial(static_cast<std::size_t>(p), 0);
+  for_each_block(mask.size(), [&](int vp, Block b) {
+    index_t acc = 0;
+    for (index_t i = b.begin; i < b.end; ++i) acc += (mask[i] != 0);
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  index_t total = 0;
+  for (index_t v : partial) total += v;
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, mask.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(index_t)));
+  return total;
+}
+
+/// Masked sum — the paper's own example of HPF execution semantics
+/// (section 1.4): sum(v*v, mask) is *executed* for all elements, so the
+/// FLOPs are counted for the whole array, while only the unmasked values
+/// contribute to the result.
+template <typename T, std::size_t R>
+[[nodiscard]] T reduce_sum_masked(const Array<T, R>& a,
+                                  const Array<std::uint8_t, R>& mask) {
+  assert(mask.size() == a.size());
+  const index_t n = a.size();
+  const int p = Machine::instance().vps();
+  std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  for_each_block(n, [&](int vp, Block b) {
+    T acc{};
+    for (index_t i = b.begin; i < b.end; ++i) {
+      if (mask[i]) acc += a[i];
+    }
+    partial[static_cast<std::size_t>(vp)] = acc;
+  });
+  T total{};
+  for (const T& v : partial) total += v;
+  flops::add_reduction(n);  // full-array count per HPF semantics
+  detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+  return total;
+}
+
+/// Sum-reduction along `axis`, producing an array of rank R-1.
+/// FLOPs: out_size * (extent(axis) - 1).
+template <typename T, std::size_t R>
+  requires(R >= 2)
+void reduce_axis_sum_into(Array<T, R - 1>& dst, const Array<T, R>& src,
+                          std::size_t axis) {
+  assert(axis < R);
+  const index_t n = src.extent(axis);
+  const auto strides = src.shape().strides();
+  const index_t st = strides[axis];
+  const index_t inner = st;
+  const index_t outer = src.size() / (n * inner);
+  assert(dst.size() == outer * inner);
+
+  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+    for (index_t oi = lo; oi < hi; ++oi) {
+      const index_t o = oi / inner;
+      const index_t i = oi % inner;
+      const index_t base = o * n * inner + i;
+      T acc{};
+      for (index_t j = 0; j < n; ++j) acc += src[base + j * st];
+      dst[oi] = acc;
+    }
+  });
+  if (n > 1) flops::add(flops::Kind::AddSubMul, (n - 1) * outer * inner);
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::Reduction, static_cast<int>(R),
+                 static_cast<int>(R - 1), src.bytes(),
+                 src.layout().distributed_axis() == axis
+                     ? (p - 1) * dst.bytes() / std::max<index_t>(p, 1)
+                     : 0);
+}
+
+/// Returns the axis sum-reduction as a library temporary (all-parallel
+/// layout on the remaining axes).
+template <typename T, std::size_t R>
+  requires(R >= 2)
+[[nodiscard]] Array<T, R - 1> reduce_axis_sum(const Array<T, R>& src,
+                                              std::size_t axis) {
+  std::array<index_t, R - 1> ext{};
+  std::size_t w = 0;
+  for (std::size_t a = 0; a < R; ++a) {
+    if (a != axis) ext[w++] = src.extent(a);
+  }
+  Array<T, R - 1> dst(Shape<R - 1>(ext), Layout<R - 1>{}, MemKind::Temporary);
+  reduce_axis_sum_into(dst, src, axis);
+  return dst;
+}
+
+}  // namespace dpf::comm

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file scan.hpp
+/// Parallel-prefix operations: inclusive/exclusive sum scans and segmented
+/// scans (sum and copy). Counted at their sequential FLOP cost N-1 per the
+/// paper; recorded as CommPattern::Scan. Used by pic-gather-scatter (81
+/// scans/iter), qmc, and qptransport.
+
+#include <vector>
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/machine.hpp"
+
+namespace dpf::comm {
+
+/// Inclusive sum scan of a rank-1 array: dst[i] = sum(src[0..i]).
+/// Two-pass blocked parallel algorithm (per-block partials, then offset fix).
+template <typename T>
+void scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
+                   bool exclusive = false) {
+  assert(dst.size() == src.size());
+  const index_t n = src.size();
+  if (n == 0) return;
+  const int p = Machine::instance().vps();
+  std::vector<T> block_total(static_cast<std::size_t>(p), T{});
+
+  for_each_block(n, [&](int vp, Block b) {
+    T acc{};
+    for (index_t i = b.begin; i < b.end; ++i) {
+      acc += src[i];
+      dst[i] = acc;
+    }
+    block_total[static_cast<std::size_t>(vp)] = acc;
+  });
+  // Exclusive prefix of the block totals.
+  std::vector<T> offset(static_cast<std::size_t>(p), T{});
+  for (int vp = 1; vp < p; ++vp) {
+    offset[static_cast<std::size_t>(vp)] =
+        offset[static_cast<std::size_t>(vp - 1)] +
+        block_total[static_cast<std::size_t>(vp - 1)];
+  }
+  for_each_block(n, [&](int vp, Block b) {
+    const T off = offset[static_cast<std::size_t>(vp)];
+    for (index_t i = b.begin; i < b.end; ++i) dst[i] += off;
+  });
+  if (exclusive) {
+    // Shift right by one, seeding with zero; done as a serial post-pass on
+    // the control processor (the payload already lives in dst).
+    T prev{};
+    for (index_t i = 0; i < n; ++i) {
+      const T cur = dst[i];
+      dst[i] = prev;
+      prev = cur;
+    }
+  }
+  flops::add_reduction(n);
+  detail::record(CommPattern::Scan, 1, 1, src.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)));
+}
+
+/// Returns the inclusive sum scan as a library temporary.
+template <typename T>
+[[nodiscard]] Array<T, 1> scan_sum(const Array<T, 1>& src,
+                                   bool exclusive = false) {
+  Array<T, 1> dst(src.shape(), src.layout(), MemKind::Temporary);
+  scan_sum_into(dst, src, exclusive);
+  return dst;
+}
+
+/// Segmented inclusive sum scan: the running sum restarts wherever
+/// seg_start[i] != 0. Executed serially on the control processor after a
+/// parallel first pass is not profitable at our scale; counted N-1, recorded
+/// as a Scan.
+template <typename T>
+void segmented_scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
+                             const Array<std::uint8_t, 1>& seg_start) {
+  assert(dst.size() == src.size() && seg_start.size() == src.size());
+  const index_t n = src.size();
+  T acc{};
+  for (index_t i = 0; i < n; ++i) {
+    if (seg_start[i]) acc = T{};
+    acc += src[i];
+    dst[i] = acc;
+  }
+  flops::add_reduction(n);
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::Scan, 1, 1, src.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/1);
+}
+
+/// Segmented copy scan: every element takes the value at the start of its
+/// segment (the "segmented copy scan" used by branching Monte-Carlo codes).
+/// No FLOPs (a data move); recorded as a Scan.
+template <typename T>
+void segmented_copy_scan_into(Array<T, 1>& dst, const Array<T, 1>& src,
+                              const Array<std::uint8_t, 1>& seg_start) {
+  assert(dst.size() == src.size() && seg_start.size() == src.size());
+  const index_t n = src.size();
+  T cur{};
+  for (index_t i = 0; i < n; ++i) {
+    if (i == 0 || seg_start[i]) cur = src[i];
+    dst[i] = cur;
+  }
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::Scan, 1, 1, src.bytes(),
+                 (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/2);
+}
+
+/// Sum scan along `axis` of a rank-R array (scans each line independently).
+template <typename T, std::size_t R>
+void scan_sum_axis_into(Array<T, R>& dst, const Array<T, R>& src,
+                        std::size_t axis) {
+  assert(dst.shape() == src.shape());
+  const index_t n = src.extent(axis);
+  if (n == 0) return;
+  const auto strides = src.shape().strides();
+  const index_t st = strides[axis];
+  const index_t inner = st;
+  const index_t outer = src.size() / (n * inner);
+
+  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+    for (index_t oi = lo; oi < hi; ++oi) {
+      const index_t o = oi / inner;
+      const index_t i = oi % inner;
+      const index_t base = o * n * inner + i;
+      T acc{};
+      for (index_t j = 0; j < n; ++j) {
+        acc += src[base + j * st];
+        dst[base + j * st] = acc;
+      }
+    }
+  });
+  if (n > 1) flops::add(flops::Kind::AddSubMul, (n - 1) * outer * inner);
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::Scan, static_cast<int>(R), static_cast<int>(R),
+                 src.bytes(),
+                 src.layout().distributed_axis() == axis
+                     ? (p - 1) * static_cast<index_t>(sizeof(T)) * outer * inner
+                     : 0);
+}
+
+}  // namespace dpf::comm

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file sort.hpp
+/// Parallel rank/sort primitives.
+///
+/// The particle codes (pic-gather-scatter) sort particles by destination
+/// cell before routing to avoid data-router collisions, and qptransport
+/// sorts graph edges by cost (paper section 4, class 8). The sort is a
+/// parallel merge sort over VP blocks; recorded as CommPattern::Sort.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/machine.hpp"
+
+namespace dpf::comm {
+
+/// Computes the permutation that stably sorts `keys` ascending:
+/// keys[perm[0]] <= keys[perm[1]] <= ... . Recorded as one Sort.
+template <typename T>
+void sort_permutation_into(Array<index_t, 1>& perm, const Array<T, 1>& keys) {
+  const index_t n = keys.size();
+  assert(perm.size() == n);
+  const int p = Machine::instance().vps();
+
+  std::vector<index_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), index_t{0});
+
+  // Sort each VP block, then merge pairwise (log P serial merge rounds on
+  // the control processor; block sorts run in parallel).
+  for_each_block(n, [&](int /*vp*/, Block b) {
+    std::stable_sort(idx.begin() + b.begin, idx.begin() + b.end,
+                     [&](index_t a, index_t c) { return keys[a] < keys[c]; });
+  });
+  std::vector<index_t> bounds;
+  bounds.push_back(0);
+  for (int vp = 0; vp < p; ++vp) bounds.push_back(block_of(n, p, vp).end);
+  while (bounds.size() > 2) {
+    std::vector<index_t> next;
+    next.push_back(bounds.front());
+    for (std::size_t k = 2; k < bounds.size(); k += 2) {
+      std::inplace_merge(
+          idx.begin() + bounds[k - 2], idx.begin() + bounds[k - 1],
+          idx.begin() + bounds[k],
+          [&](index_t a, index_t c) { return keys[a] < keys[c]; });
+      next.push_back(bounds[k]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+
+  for (index_t i = 0; i < n; ++i) perm[i] = idx[static_cast<std::size_t>(i)];
+  detail::record(CommPattern::Sort, 1, 1, keys.bytes(),
+                 p > 1 ? keys.bytes() * (p - 1) / p : 0);
+}
+
+/// Returns the sorting permutation as a library temporary.
+template <typename T>
+[[nodiscard]] Array<index_t, 1> sort_permutation(const Array<T, 1>& keys) {
+  Array<index_t, 1> perm(keys.shape(), keys.layout(), MemKind::Temporary);
+  sort_permutation_into(perm, keys);
+  return perm;
+}
+
+/// In-place ascending sort of a rank-1 array (values only).
+template <typename T>
+void sort_values(Array<T, 1>& a) {
+  const int p = Machine::instance().vps();
+  const index_t n = a.size();
+  T* base = a.data().data();
+  for_each_block(n, [&](int /*vp*/, Block b) {
+    std::sort(base + b.begin, base + b.end);
+  });
+  std::vector<index_t> bounds;
+  bounds.push_back(0);
+  for (int vp = 0; vp < p; ++vp) bounds.push_back(block_of(n, p, vp).end);
+  while (bounds.size() > 2) {
+    std::vector<index_t> next;
+    next.push_back(bounds.front());
+    for (std::size_t k = 2; k < bounds.size(); k += 2) {
+      std::inplace_merge(base + bounds[k - 2], base + bounds[k - 1],
+                         base + bounds[k]);
+      next.push_back(bounds[k]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+  detail::record(CommPattern::Sort, 1, 1, a.bytes(),
+                 p > 1 ? a.bytes() * (p - 1) / p : 0);
+}
+
+}  // namespace dpf::comm

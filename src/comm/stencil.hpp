@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file stencil.hpp
+/// Stencil evaluation via array sections.
+///
+/// Table 8 distinguishes three stencil implementation techniques: CSHIFT
+/// (boson, wave-1D, ellip-2D, rp, mdcell), *chained* CSHIFT (step4), and
+/// *array sections* (diff-1D/2D/3D). This header provides the array-section
+/// technique: the caller supplies the stencil offsets and a combining
+/// functor; interior elements are updated in one fused, communication-free
+/// sweep whose halo traffic is recorded as a single Stencil event carrying
+/// the point count (reproducing Table 6 rows like "1 7-point Stencil").
+
+#include <array>
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::comm {
+
+/// Applies a stencil over the interior of a rank-R grid:
+///   dst(idx) = fn(i) for every interior linear index i,
+/// where `fn` may read src at i plus offsets. `points` is the stencil's
+/// point count (recorded as the event detail), `halo_width` the interior
+/// margin along every axis, and `flops_per_point` the weighted FLOPs per
+/// interior element. Boundary elements of dst are left untouched.
+template <typename T, std::size_t R, typename F>
+void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
+                      index_t halo_width, index_t flops_per_elem, F&& fn) {
+  assert(dst.shape() == src.shape());
+  const auto& ext = src.shape().extents();
+  const auto strides = src.shape().strides();
+
+  // Interior extents and their row-major divisors.
+  std::array<index_t, R> iext{};
+  index_t interior = 1;
+  for (std::size_t a = 0; a < R; ++a) {
+    iext[a] = std::max<index_t>(ext[a] - 2 * halo_width, 0);
+    interior *= iext[a];
+  }
+  std::array<index_t, R> idiv{};
+  {
+    index_t acc = 1;
+    for (std::size_t a = R; a-- > 0;) {
+      idiv[a] = acc;
+      acc *= iext[a];
+    }
+  }
+  if (interior > 0) {
+    parallel_range(interior, [&](index_t lo, index_t hi) {
+      for (index_t k = lo; k < hi; ++k) {
+        // Decode interior coordinate k into a full-grid linear index.
+        index_t rem = k;
+        index_t lin = 0;
+        for (std::size_t a = 0; a < R; ++a) {
+          const index_t coord = rem / idiv[a];
+          rem %= idiv[a];
+          lin += (coord + halo_width) * strides[a];
+        }
+        dst[lin] = fn(lin);
+      }
+    });
+    flops::add_weighted(flops_per_elem * interior);
+  }
+
+  // Halo traffic: under BLOCK distribution one slab of `halo_width` slots
+  // crosses each internal boundary in each direction along every gridded
+  // axis; under CYCLIC essentially every neighbour reference is remote.
+  index_t offproc = 0;
+  const int p = Machine::instance().vps();
+  if (p > 1 && src.layout().has_parallel_axis()) {
+    if (src.layout().dist() == Dist::Block) {
+      for (std::size_t a = 0; a < R; ++a) {
+        const int g = src.layout().procs_on_axis(a, p);
+        if (g <= 1) continue;
+        offproc += 2 * (g - 1) * halo_width * (src.bytes() / ext[a]);
+      }
+    } else {
+      offproc = src.bytes() * (p - 1) / p;
+    }
+  }
+  detail::record(CommPattern::Stencil, static_cast<int>(R),
+                 static_cast<int>(R), src.bytes(), offproc, points);
+}
+
+/// Records a Stencil event without moving data — used when a stencil is
+/// realized by chained CSHIFTs (step4) or sections fused into another loop
+/// but the benchmark reports the logical stencil too.
+template <typename T, std::size_t R>
+void record_stencil(const Array<T, R>& a, index_t points,
+                    index_t halo_width = 1) {
+  const int p = Machine::instance().vps();
+  index_t offproc = 0;
+  if (p > 1 && a.layout().has_parallel_axis()) {
+    if (a.layout().dist() == Dist::Block) {
+      for (std::size_t ax = 0; ax < R; ++ax) {
+        const int g = a.layout().procs_on_axis(ax, p);
+        if (g <= 1) continue;
+        offproc += 2 * (g - 1) * halo_width * (a.bytes() / a.extent(ax));
+      }
+    } else {
+      offproc = a.bytes() * (p - 1) / p;
+    }
+  }
+  detail::record(CommPattern::Stencil, static_cast<int>(R),
+                 static_cast<int>(R), a.bytes(), offproc, points);
+}
+
+}  // namespace dpf::comm

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file transpose.hpp
+/// Matrix transposition — realized as all-to-all personalized communication
+/// (AAPC) on a distributed-memory machine (paper section 2: "the transpose
+/// ... may be used to confirm advertised bisection bandwidths").
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::comm {
+
+/// dst = transpose(src) for rank-2 arrays; dst must be shaped (m,n) for an
+/// (n,m) source. Recorded as one AAPC.
+template <typename T>
+void transpose_into(Array<T, 2>& dst, const Array<T, 2>& src) {
+  const index_t n = src.extent(0);
+  const index_t m = src.extent(1);
+  assert(dst.extent(0) == m && dst.extent(1) == n);
+
+  // Cache-blocked transpose, parallel over destination row blocks.
+  constexpr index_t kTile = 32;
+  parallel_range(m, [&](index_t lo, index_t hi) {
+    for (index_t i0 = lo; i0 < hi; i0 += kTile) {
+      const index_t i1 = std::min(i0 + kTile, hi);
+      for (index_t j0 = 0; j0 < n; j0 += kTile) {
+        const index_t j1 = std::min(j0 + kTile, n);
+        for (index_t i = i0; i < i1; ++i) {
+          for (index_t j = j0; j < j1; ++j) dst(i, j) = src(j, i);
+        }
+      }
+    }
+  });
+
+  // Off-processor volume: element (j,i) of src lands at (i,j) of dst;
+  // owners are compared under each array's own layout (grids included).
+  index_t offproc = 0;
+  const int p = Machine::instance().vps();
+  if (p > 1) {
+    const index_t eb = static_cast<index_t>(sizeof(T));
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const int os = detail::owner_id(src, {j, i});
+        const int od = detail::owner_id(dst, {i, j});
+        if (os != od) offproc += eb;
+      }
+    }
+  }
+  detail::record(CommPattern::AAPC, 2, 2, src.bytes(), offproc);
+}
+
+/// Returns the transpose as a library temporary.
+template <typename T>
+[[nodiscard]] Array<T, 2> transpose(const Array<T, 2>& src) {
+  Array<T, 2> dst(Shape<2>(src.extent(1), src.extent(0)), Layout<2>{},
+                  MemKind::Temporary);
+  transpose_into(dst, src);
+  return dst;
+}
+
+/// Records an AAPC event without moving data — used by algorithms whose
+/// personalized exchange is folded into another loop (e.g. the FFT
+/// bit-reversal permutation applied in place).
+template <typename T, std::size_t R>
+void record_aapc(const Array<T, R>& a) {
+  const int p = Machine::instance().vps();
+  detail::record(CommPattern::AAPC, static_cast<int>(R), static_cast<int>(R),
+                 a.bytes(), p > 1 ? a.bytes() * (p - 1) / p : 0);
+}
+
+}  // namespace dpf::comm

@@ -1,0 +1,116 @@
+#include "core/comm_log.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace dpf {
+
+CommLog& CommLog::instance() {
+  static CommLog log;
+  return log;
+}
+
+void CommLog::record(const CommEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  events_.push_back(e);
+}
+
+void CommLog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::size_t CommLog::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<CommEvent> CommLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<CommKey, index_t> CommLog::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<CommKey, index_t> out;
+  for (const CommEvent& e : events_) {
+    ++out[CommKey{e.pattern, e.src_rank, e.dst_rank}];
+  }
+  return out;
+}
+
+index_t CommLog::count(CommPattern p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_t n = 0;
+  for (const CommEvent& e : events_) n += (e.pattern == p);
+  return n;
+}
+
+index_t CommLog::offproc_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_t n = 0;
+  for (const CommEvent& e : events_) n += e.offproc_bytes;
+  return n;
+}
+
+index_t CommLog::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_t n = 0;
+  for (const CommEvent& e : events_) n += e.bytes;
+  return n;
+}
+
+void CommLog::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool CommLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+bool CommLog::dump_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "seq,pattern,src_rank,dst_rank,bytes,offproc_bytes,detail\n");
+  std::vector<CommEvent> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = events_;
+  }
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const CommEvent& e = snapshot[i];
+    std::fprintf(f, "%zu,%s,%d,%d,%lld,%lld,%lld\n", i,
+                 std::string(to_string(e.pattern)).c_str(), e.src_rank,
+                 e.dst_rank, static_cast<long long>(e.bytes),
+                 static_cast<long long>(e.offproc_bytes),
+                 static_cast<long long>(e.detail));
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::vector<CommEvent> CommScope::events() const {
+  auto all = CommLog::instance().events();
+  if (start_ >= all.size()) return {};
+  return std::vector<CommEvent>(all.begin() + static_cast<std::ptrdiff_t>(start_),
+                                all.end());
+}
+
+std::map<CommKey, index_t> CommScope::counts() const {
+  std::map<CommKey, index_t> out;
+  for (const CommEvent& e : events()) {
+    ++out[CommKey{e.pattern, e.src_rank, e.dst_rank}];
+  }
+  return out;
+}
+
+index_t CommScope::count(CommPattern p) const {
+  index_t n = 0;
+  for (const CommEvent& e : events()) n += (e.pattern == p);
+  return n;
+}
+
+}  // namespace dpf

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file comm_log.hpp
+/// Communication-pattern accounting (section 1.5, attributes 4 and 6).
+///
+/// Every collective primitive in dpf::comm records one CommEvent describing
+/// the pattern it realizes, the ranks of the source/destination arrays, the
+/// total bytes it moved and — using the layout's block distribution — how
+/// many of those bytes crossed a virtual-processor boundary. Tables 3, 6
+/// and 7 of the paper are regenerated from these events.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dpf {
+
+/// The communication-pattern taxonomy of the paper (section 1.5(4)).
+enum class CommPattern : std::uint8_t {
+  Stencil,
+  Gather,
+  GatherCombine,
+  Scatter,
+  ScatterCombine,
+  Reduction,
+  Broadcast,
+  Spread,
+  AABC,      ///< all-to-all broadcast
+  AAPC,      ///< all-to-all personalized communication (e.g. transpose)
+  Butterfly, ///< FFT data motion
+  Scan,
+  CShift,
+  EOShift,
+  Send,
+  Get,
+  Sort,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CommPattern p) noexcept {
+  switch (p) {
+    case CommPattern::Stencil: return "Stencil";
+    case CommPattern::Gather: return "Gather";
+    case CommPattern::GatherCombine: return "Gather w/ combine";
+    case CommPattern::Scatter: return "Scatter";
+    case CommPattern::ScatterCombine: return "Scatter w/ combine";
+    case CommPattern::Reduction: return "Reduction";
+    case CommPattern::Broadcast: return "Broadcast";
+    case CommPattern::Spread: return "Spread";
+    case CommPattern::AABC: return "AABC";
+    case CommPattern::AAPC: return "AAPC";
+    case CommPattern::Butterfly: return "Butterfly";
+    case CommPattern::Scan: return "Scan";
+    case CommPattern::CShift: return "CSHIFT";
+    case CommPattern::EOShift: return "EOSHIFT";
+    case CommPattern::Send: return "Send";
+    case CommPattern::Get: return "Get";
+    case CommPattern::Sort: return "Sort";
+  }
+  return "?";
+}
+
+/// One recorded collective operation.
+struct CommEvent {
+  CommPattern pattern{};
+  int src_rank = 0;       ///< rank of the source array (0 = scalar)
+  int dst_rank = 0;       ///< rank of the destination array
+  index_t bytes = 0;      ///< payload bytes touched by the operation
+  index_t offproc_bytes = 0;  ///< bytes crossing a VP boundary under the layout
+  index_t detail = 0;     ///< pattern-specific detail (e.g. stencil points)
+};
+
+/// Key used when aggregating events for the pattern-inventory tables.
+struct CommKey {
+  CommPattern pattern{};
+  int src_rank = 0;
+  int dst_rank = 0;
+  friend auto operator<=>(const CommKey&, const CommKey&) = default;
+};
+
+/// Global, mutex-protected event log. Benchmarks run one at a time under a
+/// single control thread, but SPMD bodies may record concurrently.
+class CommLog {
+ public:
+  static CommLog& instance();
+
+  void record(const CommEvent& e);
+  void reset();
+
+  /// Total number of events since the last reset.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Snapshot of all events since the last reset.
+  [[nodiscard]] std::vector<CommEvent> events() const;
+
+  /// Aggregated operation counts keyed by (pattern, src rank, dst rank).
+  [[nodiscard]] std::map<CommKey, index_t> counts() const;
+
+  /// Count of events of a given pattern (any ranks).
+  [[nodiscard]] index_t count(CommPattern p) const;
+
+  /// Total off-processor bytes since the last reset.
+  [[nodiscard]] index_t offproc_bytes() const;
+
+  /// Total payload bytes since the last reset.
+  [[nodiscard]] index_t total_bytes() const;
+
+  /// Enables/disables recording (used to exclude warm-up/setup phases).
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const;
+
+  /// Writes every recorded event as CSV (header + one row per event:
+  /// sequence, pattern, src_rank, dst_rank, bytes, offproc_bytes, detail)
+  /// for offline analysis of a benchmark's communication trace. Returns
+  /// false if the file could not be opened.
+  [[nodiscard]] bool dump_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommEvent> events_;
+  bool enabled_ = true;
+};
+
+/// RAII scope that isolates the events recorded during its lifetime.
+class CommScope {
+ public:
+  CommScope() : start_(CommLog::instance().event_count()) {}
+
+  /// Events recorded since scope entry.
+  [[nodiscard]] std::vector<CommEvent> events() const;
+
+  /// Aggregated counts of events recorded since scope entry.
+  [[nodiscard]] std::map<CommKey, index_t> counts() const;
+
+  /// Number of events of pattern `p` since scope entry.
+  [[nodiscard]] index_t count(CommPattern p) const;
+
+ private:
+  std::size_t start_;
+};
+
+}  // namespace dpf

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file flops.hpp
+/// Floating-point operation accounting with the paper's weights
+/// (section 1.5, attribute 1, following Hennessy & Patterson):
+///   add/subtract/multiply : 1 FLOP
+///   divide/square root    : 4 FLOPs
+///   logarithm/trig        : 8 FLOPs
+///   N-element reduction or parallel-prefix : N-1 sequential FLOPs
+///
+/// Counts are recorded in bulk by the array operations and communication
+/// primitives (one call per whole-array op), so accounting adds no per-
+/// element overhead. Counters are plain relaxed atomics: SPMD region bodies
+/// may record concurrently.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dpf::flops {
+
+/// Weight classes of section 1.5.
+enum class Kind : std::uint8_t {
+  AddSubMul,   ///< weight 1
+  DivSqrt,     ///< weight 4
+  LogTrig,     ///< weight 8
+};
+
+[[nodiscard]] constexpr index_t weight(Kind k) noexcept {
+  switch (k) {
+    case Kind::AddSubMul: return 1;
+    case Kind::DivSqrt: return 4;
+    case Kind::LogTrig: return 8;
+  }
+  return 0;
+}
+
+namespace detail {
+inline std::atomic<std::int64_t>& counter() {
+  static std::atomic<std::int64_t> c{0};
+  return c;
+}
+}  // namespace detail
+
+/// Records `count` operations of weight class `k`.
+inline void add(Kind k, index_t count) {
+  detail::counter().fetch_add(weight(k) * count, std::memory_order_relaxed);
+}
+
+/// Records an already-weighted FLOP total (used when a kernel's per-element
+/// cost mixes weight classes and has been pre-multiplied).
+inline void add_weighted(index_t weighted_count) {
+  detail::counter().fetch_add(weighted_count, std::memory_order_relaxed);
+}
+
+/// Records the sequential cost of reducing/scanning n elements: n-1 FLOPs
+/// (zero when n < 2).
+inline void add_reduction(index_t n) {
+  if (n > 1) add(Kind::AddSubMul, n - 1);
+}
+
+/// Total weighted FLOPs since the last reset.
+[[nodiscard]] inline std::int64_t total() {
+  return detail::counter().load(std::memory_order_relaxed);
+}
+
+inline void reset() { detail::counter().store(0, std::memory_order_relaxed); }
+
+/// RAII scope that reports the FLOPs recorded during its lifetime.
+class Scope {
+ public:
+  Scope() : start_(total()) {}
+  [[nodiscard]] std::int64_t count() const { return total() - start_; }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace dpf::flops

@@ -1,0 +1,210 @@
+#pragma once
+
+/// \file layout.hpp
+/// HPF/CM-Fortran style axis layouts.
+///
+/// The paper (section 1.4) distinguishes *local* (":serial") and *parallel*
+/// (":") axes of an array. Parallel axes are block-distributed over the
+/// machine's virtual processors; serial axes are stored entirely within each
+/// processor's local memory. We model a 1-D virtual-processor grid and
+/// block-distribute the *outermost parallel axis*; this is sufficient to
+/// classify every reference as on-processor or off-processor, which is what
+/// the suite's communication metrics require (see DESIGN.md section 2.1).
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <string>
+
+#include "core/shape.hpp"
+#include "core/types.hpp"
+
+namespace dpf {
+
+/// Kind of an array axis in the HPF sense.
+enum class AxisKind : std::uint8_t {
+  Serial,    ///< ":serial" — local to each processor's memory
+  Parallel,  ///< ":" — distributed across processors
+};
+
+/// HPF distribution format of the distributed axis. BLOCK keeps contiguous
+/// chunks per processor (good for stencils); CYCLIC deals elements round-
+/// robin (good for triangular load balance, terrible for neighbour
+/// communication) — the classic trade-off the DISTRIBUTE directive
+/// exposes.
+enum class Dist : std::uint8_t { Block, Cyclic };
+
+/// Per-axis layout of a Rank-dimensional array.
+template <std::size_t Rank>
+class Layout {
+ public:
+  /// All axes parallel (the default for whole-array data-parallel objects).
+  Layout() { kinds_.fill(AxisKind::Parallel); }
+
+  template <typename... K>
+    requires(sizeof...(K) == Rank && (std::is_same_v<K, AxisKind> && ...))
+  explicit Layout(K... k) : kinds_{k...} {}
+
+  explicit Layout(const std::array<AxisKind, Rank>& k) : kinds_(k) {}
+
+  /// Returns a copy of this layout with the given distribution format.
+  [[nodiscard]] Layout with_dist(Dist d) const {
+    Layout l = *this;
+    l.dist_ = d;
+    return l;
+  }
+
+  [[nodiscard]] Dist dist() const { return dist_; }
+
+  /// Returns a copy of this layout with an explicit processor grid: axis a
+  /// is distributed over grid[a] processors (1 for serial axes; the
+  /// product over all axes should equal the machine's VP count). Without
+  /// an explicit grid the whole machine is folded onto the outermost
+  /// parallel axis (the model documented above).
+  [[nodiscard]] Layout with_grid(const std::array<int, Rank>& grid) const {
+    Layout l = *this;
+    l.grid_ = grid;
+    l.has_grid_ = true;
+    return l;
+  }
+
+  [[nodiscard]] bool has_grid() const { return has_grid_; }
+
+  /// Processors assigned to `axis` under the explicit grid (1 if none).
+  [[nodiscard]] int grid(std::size_t axis) const {
+    assert(axis < Rank);
+    return has_grid_ ? grid_[axis] : 1;
+  }
+
+  /// Processors effectively distributing `axis`: the explicit grid entry
+  /// when one is set, else `machine_vps` on the outermost parallel axis
+  /// and 1 elsewhere.
+  [[nodiscard]] int procs_on_axis(std::size_t axis, int machine_vps) const {
+    if (has_grid_) return grid_[axis];
+    return (axis == distributed_axis()) ? machine_vps : 1;
+  }
+
+  /// A balanced default grid for `machine_vps` processors: factors are
+  /// peeled off the VP count and assigned greedily to the parallel axis
+  /// with the largest per-processor extent (the CMF compiler's "garbage
+  /// mask free" style heuristic, simplified).
+  [[nodiscard]] std::array<int, Rank> balanced_grid(
+      const std::array<index_t, Rank>& extents, int machine_vps) const {
+    std::array<int, Rank> g{};
+    g.fill(1);
+    int remaining = machine_vps;
+    for (int f = 2; remaining > 1;) {
+      if (remaining % f != 0) {
+        ++f;
+        continue;
+      }
+      // Give factor f to the parallel axis with the largest local extent.
+      std::size_t best = Rank;
+      double best_len = 0;
+      for (std::size_t a = 0; a < Rank; ++a) {
+        if (kinds_[a] != AxisKind::Parallel) continue;
+        const double len =
+            static_cast<double>(extents[a]) / static_cast<double>(g[a]);
+        if (len > best_len) {
+          best_len = len;
+          best = a;
+        }
+      }
+      if (best == Rank) break;  // no parallel axes
+      g[best] *= f;
+      remaining /= f;
+    }
+    return g;
+  }
+
+  [[nodiscard]] AxisKind kind(std::size_t axis) const {
+    assert(axis < Rank);
+    return kinds_[axis];
+  }
+
+  [[nodiscard]] bool is_parallel(std::size_t axis) const {
+    return kind(axis) == AxisKind::Parallel;
+  }
+
+  [[nodiscard]] bool is_serial(std::size_t axis) const {
+    return kind(axis) == AxisKind::Serial;
+  }
+
+  /// Index of the outermost parallel axis, or Rank if every axis is serial.
+  [[nodiscard]] std::size_t distributed_axis() const {
+    for (std::size_t a = 0; a < Rank; ++a) {
+      if (kinds_[a] == AxisKind::Parallel) return a;
+    }
+    return Rank;
+  }
+
+  [[nodiscard]] bool has_parallel_axis() const {
+    return distributed_axis() != Rank;
+  }
+
+  /// Number of serial axes.
+  [[nodiscard]] std::size_t serial_axes() const {
+    std::size_t n = 0;
+    for (auto k : kinds_) n += (k == AxisKind::Serial);
+    return n;
+  }
+
+  friend bool operator==(const Layout&, const Layout&) = default;
+
+  /// Renders the paper's notation, e.g. "(:serial,:,:)".
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "(";
+    for (std::size_t a = 0; a < Rank; ++a) {
+      if (a) s += ",";
+      s += (kinds_[a] == AxisKind::Serial) ? ":serial" : ":";
+    }
+    return s + ")";
+  }
+
+ private:
+  std::array<AxisKind, Rank> kinds_;
+  Dist dist_ = Dist::Block;
+  std::array<int, Rank> grid_{};
+  bool has_grid_ = false;
+};
+
+/// Block decomposition of [0, n) over p processors: processor `vp` owns
+/// [block_begin, block_end). Remainder elements go to the lowest-numbered
+/// processors, matching HPF BLOCK distribution.
+struct Block {
+  index_t begin = 0;
+  index_t end = 0;
+  [[nodiscard]] index_t size() const { return end - begin; }
+};
+
+[[nodiscard]] inline Block block_of(index_t n, int p, int vp) {
+  assert(p > 0 && vp >= 0 && vp < p);
+  const index_t base = n / p;
+  const index_t rem = n % p;
+  const index_t begin = vp * base + std::min<index_t>(vp, rem);
+  const index_t size = base + (vp < rem ? 1 : 0);
+  return Block{begin, begin + size};
+}
+
+/// Owning processor of global index i under block distribution of [0,n) on p.
+[[nodiscard]] inline int owner_of(index_t n, int p, index_t i) {
+  assert(i >= 0 && i < n);
+  const index_t base = n / p;
+  const index_t rem = n % p;
+  const index_t cutoff = rem * (base + 1);
+  if (i < cutoff) return static_cast<int>(i / (base + 1));
+  if (base == 0) return p - 1;
+  return static_cast<int>(rem + (i - cutoff) / base);
+}
+
+/// Owning processor of index i under CYCLIC (round-robin) distribution.
+[[nodiscard]] inline int owner_of_cyclic(index_t /*n*/, int p, index_t i) {
+  return static_cast<int>(i % p);
+}
+
+/// Owner under the given distribution format.
+[[nodiscard]] inline int owner_of(index_t n, int p, index_t i, Dist d) {
+  return d == Dist::Block ? owner_of(n, p, i) : owner_of_cyclic(n, p, i);
+}
+
+}  // namespace dpf

@@ -1,0 +1,184 @@
+#include "core/machine.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace dpf {
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+double seconds_between(clock_t_::time_point a, clock_t_::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Machine& Machine::instance() {
+  static Machine m;
+  return m;
+}
+
+int Machine::default_vps() {
+  if (const char* env = std::getenv("DPF_VPS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 4096) return v;
+  }
+  return 4;
+}
+
+Machine::Machine() { configure(default_vps()); }
+
+Machine::~Machine() { stop_pool(); }
+
+void Machine::configure(int vps) {
+  if (vps < 1) vps = 1;
+  stop_pool();
+  vps_ = vps;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  workers_ = static_cast<int>(std::min<unsigned>(hw, static_cast<unsigned>(vps)));
+  busy_ns_.assign(static_cast<std::size_t>(vps_), 0.0);
+  start_pool();
+}
+
+void Machine::start_pool() {
+  shutdown_ = false;
+  // Worker 0 is the calling thread; spawn workers_ - 1 helpers.
+  pool_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    pool_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void Machine::stop_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& t : pool_) t.join();
+  pool_.clear();
+}
+
+void Machine::worker_loop(int /*worker_id*/) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      body = body_;
+      if (body == nullptr) continue;  // region already fully drained
+      ++active_workers_;
+    }
+    // Drain the VP queue.
+    for (;;) {
+      const index_t vp = next_vp_.fetch_add(1, std::memory_order_relaxed);
+      if (vp >= vps_) break;
+      const auto t0 = clock_t_::now();
+      (*body)(static_cast<int>(vp));
+      const auto t1 = clock_t_::now();
+      busy_ns_[static_cast<std::size_t>(vp)] +=
+          seconds_between(t0, t1) * 1e9;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void Machine::spmd(const std::function<void(int)>& body) {
+  // Nested regions run inline on the calling VP worker (flat SPMD model).
+  if (in_region_.exchange(true)) {
+    // Already inside a region on this machine: execute all VPs inline.
+    // (This only happens if a region body itself calls spmd; CMF semantics
+    // serialize such nesting.)
+    for (int vp = 0; vp < vps_; ++vp) body(vp);
+    return;
+  }
+  // Exception safety: a throwing body must not leave the machine wedged in
+  // the "inside a region" state.
+  struct RegionGuard {
+    std::atomic<bool>& flag;
+    ~RegionGuard() { flag.store(false); }
+  } guard{in_region_};
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    next_vp_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // The calling thread participates as a worker.
+  for (;;) {
+    const index_t vp = next_vp_.fetch_add(1, std::memory_order_relaxed);
+    if (vp >= vps_) break;
+    const auto t0 = clock_t_::now();
+    body(static_cast<int>(vp));
+    const auto t1 = clock_t_::now();
+    busy_ns_[static_cast<std::size_t>(vp)] += seconds_between(t0, t1) * 1e9;
+  }
+
+  // Wait for helpers to finish their share.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] {
+      return active_workers_ == 0 &&
+             next_vp_.load(std::memory_order_relaxed) >= vps_;
+    });
+    body_ = nullptr;
+  }
+}
+
+void Machine::reset_busy() {
+  busy_ns_.assign(busy_ns_.size(), 0.0);
+}
+
+double Machine::busy_seconds() const {
+  double total = 0.0;
+  for (double ns : busy_ns_) total += ns;
+  return total / (1e9 * static_cast<double>(vps_));
+}
+
+double Machine::peak_mflops() {
+  if (peak_mflops_ > 0.0) return peak_mflops_;
+  // Calibrate: a register-resident multiply-add loop on every VP. Each trip
+  // does 8 multiply-adds = 16 FLOPs.
+  constexpr std::int64_t kTrips = 2'000'000;
+  std::vector<double> rates(static_cast<std::size_t>(vps_), 0.0);
+  spmd([&](int vp) {
+    volatile double sink;
+    double a0 = 1.0 + vp, a1 = 1.1, a2 = 1.2, a3 = 1.3;
+    double b0 = 0.5, b1 = 0.25, b2 = 0.125, b3 = 0.0625;
+    const auto t0 = clock_t_::now();
+    for (std::int64_t i = 0; i < kTrips; ++i) {
+      a0 = a0 * 0.9999999 + b0;
+      a1 = a1 * 0.9999998 + b1;
+      a2 = a2 * 0.9999997 + b2;
+      a3 = a3 * 0.9999996 + b3;
+      b0 = b0 * 0.9999995 + a0;
+      b1 = b1 * 0.9999994 + a1;
+      b2 = b2 * 0.9999993 + a2;
+      b3 = b3 * 0.9999992 + a3;
+    }
+    const auto t1 = clock_t_::now();
+    sink = a0 + a1 + a2 + a3 + b0 + b1 + b2 + b3;
+    (void)sink;
+    const double secs = seconds_between(t0, t1);
+    rates[static_cast<std::size_t>(vp)] =
+        16.0 * static_cast<double>(kTrips) / secs / 1e6;
+  });
+  double total = 0.0;
+  for (double r : rates) total += r;
+  peak_mflops_ = total;
+  return peak_mflops_;
+}
+
+}  // namespace dpf

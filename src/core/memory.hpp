@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file memory.hpp
+/// Memory-usage accounting per the paper's conventions (section 1.5,
+/// attribute 3): all user-declared data structures count, including the
+/// algorithm's auxiliary arrays; compiler-generated temporaries do not.
+/// Our analogue: arrays constructed with MemKind::User are tracked; arrays
+/// constructed with MemKind::Temporary (scratch inside the comm/la library,
+/// the stand-ins for compiler temporaries) are not.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dpf {
+
+/// Whether an allocation counts toward the benchmark's memory-usage metric.
+enum class MemKind : std::uint8_t {
+  User,       ///< user-declared data structure — tracked
+  Temporary,  ///< library/compiler temporary — not tracked
+};
+
+namespace memory {
+
+namespace detail {
+struct State {
+  std::atomic<std::int64_t> current{0};
+  std::atomic<std::int64_t> peak{0};
+};
+inline State& state() {
+  static State s;
+  return s;
+}
+}  // namespace detail
+
+inline void on_alloc(index_t bytes) {
+  auto& s = detail::state();
+  const std::int64_t now =
+      s.current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::int64_t prev = s.peak.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !s.peak.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+inline void on_free(index_t bytes) {
+  detail::state().current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+/// Bytes of live user-declared arrays right now.
+[[nodiscard]] inline std::int64_t current_bytes() {
+  return detail::state().current.load(std::memory_order_relaxed);
+}
+
+/// High-water mark since the last reset_peak().
+[[nodiscard]] inline std::int64_t peak_bytes() {
+  return detail::state().peak.load(std::memory_order_relaxed);
+}
+
+/// Resets the peak to the current live total (call at benchmark start).
+inline void reset_peak() {
+  auto& s = detail::state();
+  s.peak.store(s.current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+/// RAII scope reporting the peak of (live user bytes allocated within the
+/// scope's lifetime) relative to the live total at entry.
+class Scope {
+ public:
+  Scope() : base_(current_bytes()) { reset_peak(); }
+  /// Peak bytes attributable to the scope.
+  [[nodiscard]] std::int64_t peak() const { return peak_bytes() - base_; }
+
+ private:
+  std::int64_t base_;
+};
+
+}  // namespace memory
+}  // namespace dpf

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file ops.hpp
+/// Data-parallel elementwise operations over DPF arrays.
+///
+/// These are the analogue of whole-array expressions and FORALL statements
+/// in HPF/CMF: the iteration space is partitioned over the machine's virtual
+/// processors, the body runs inside an SPMD region (accruing busy time), and
+/// the caller declares the weighted FLOP cost per element so the FLOP-count
+/// metric matches the paper's static accounting.
+///
+/// Masked assignment follows HPF execution semantics as the paper does
+/// (section 1.4): the computation is accounted for *all* elements, not only
+/// the unmasked ones.
+
+#include <cstdint>
+
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/machine.hpp"
+
+namespace dpf {
+
+/// Runs fn(lo, hi) over a block partition of [0, n) across the VPs.
+template <typename F>
+void parallel_range(index_t n, F&& fn) {
+  Machine& m = Machine::instance();
+  const int p = m.vps();
+  m.spmd([&](int vp) {
+    const Block b = block_of(n, p, vp);
+    if (b.size() > 0) fn(b.begin, b.end);
+  });
+}
+
+/// out[i] = fn(i) for every linear index i, recording
+/// `weighted_flops_per_elem` FLOPs per element.
+template <typename T, std::size_t R, typename F>
+void assign(Array<T, R>& out, index_t weighted_flops_per_elem, F&& fn) {
+  const index_t n = out.size();
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) out[i] = fn(i);
+  });
+  flops::add_weighted(weighted_flops_per_elem * n);
+}
+
+/// Masked assignment: out[i] = fn(i) where mask[i] is true; FLOPs are
+/// recorded for the full array extent per HPF semantics.
+template <typename T, std::size_t R, typename F>
+void assign_where(Array<T, R>& out, const Array<std::uint8_t, R>& mask,
+                  index_t weighted_flops_per_elem, F&& fn) {
+  assert(mask.size() == out.size());
+  const index_t n = out.size();
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      if (mask[i]) out[i] = fn(i);
+    }
+  });
+  flops::add_weighted(weighted_flops_per_elem * n);
+}
+
+/// In-place update: x[i] = fn(i, x[i]) for every element.
+template <typename T, std::size_t R, typename F>
+void update(Array<T, R>& x, index_t weighted_flops_per_elem, F&& fn) {
+  const index_t n = x.size();
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) x[i] = fn(i, x[i]);
+  });
+  flops::add_weighted(weighted_flops_per_elem * n);
+}
+
+/// Copies src into dst elementwise (no FLOPs; a local memory move).
+template <typename T, std::size_t R>
+void copy(const Array<T, R>& src, Array<T, R>& dst) {
+  assert(src.size() == dst.size());
+  parallel_range(src.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) dst[i] = src[i];
+  });
+}
+
+/// Fills every element with v in parallel (no FLOPs).
+template <typename T, std::size_t R>
+void fill_par(Array<T, R>& x, T v) {
+  parallel_range(x.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) x[i] = v;
+  });
+}
+
+/// y += alpha * x (AXPY): 2 FLOPs per element.
+template <typename T, std::size_t R>
+void axpy(T alpha, const Array<T, R>& x, Array<T, R>& y) {
+  assert(x.size() == y.size());
+  parallel_range(x.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+  });
+  flops::add(flops::Kind::AddSubMul, 2 * x.size());
+}
+
+/// x *= alpha: 1 FLOP per element.
+template <typename T, std::size_t R>
+void scale(Array<T, R>& x, T alpha) {
+  parallel_range(x.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) x[i] *= alpha;
+  });
+  flops::add(flops::Kind::AddSubMul, x.size());
+}
+
+/// dst = a + b elementwise: 1 FLOP per element.
+template <typename T, std::size_t R>
+void add_arrays(const Array<T, R>& a, const Array<T, R>& b, Array<T, R>& dst) {
+  assert(a.size() == b.size() && a.size() == dst.size());
+  parallel_range(a.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) dst[i] = a[i] + b[i];
+  });
+  flops::add(flops::Kind::AddSubMul, a.size());
+}
+
+/// dst = a * b elementwise (Hadamard): 1 FLOP per element.
+template <typename T, std::size_t R>
+void mul_arrays(const Array<T, R>& a, const Array<T, R>& b, Array<T, R>& dst) {
+  assert(a.size() == b.size() && a.size() == dst.size());
+  parallel_range(a.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) dst[i] = a[i] * b[i];
+  });
+  flops::add(flops::Kind::AddSubMul, a.size());
+}
+
+namespace ops_detail {
+
+template <typename T, std::size_t R, typename F, std::size_t... Is>
+void forall_impl(Array<T, R>& out, F&& fn, std::index_sequence<Is...>) {
+  const auto strides = out.shape().strides();
+  const auto& ext = out.shape().extents();
+  parallel_range(out.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      out[i] = fn(((i / strides[Is]) % ext[Is])...);
+    }
+  });
+}
+
+}  // namespace ops_detail
+
+/// The FORALL statement: out(i, j, ...) = fn(i, j, ...) over the full
+/// index space, with `weighted_flops_per_elem` counted per element. The
+/// functor receives one index per axis, outermost first — the direct
+/// analogue of `FORALL (i=..., j=...) a(i,j) = expr(i,j)`.
+template <typename T, std::size_t R, typename F>
+void forall(Array<T, R>& out, index_t weighted_flops_per_elem, F&& fn) {
+  ops_detail::forall_impl(out, std::forward<F>(fn),
+                          std::make_index_sequence<R>{});
+  flops::add_weighted(weighted_flops_per_elem * out.size());
+}
+
+}  // namespace dpf

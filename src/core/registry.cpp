@@ -1,0 +1,38 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+namespace dpf {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(BenchmarkDef def) {
+  if (def.name.empty()) throw std::invalid_argument("benchmark needs a name");
+  if (!def.run) throw std::invalid_argument(def.name + ": needs a runner");
+  defs_.insert_or_assign(def.name, std::move(def));
+}
+
+const BenchmarkDef* Registry::find(const std::string& name) const {
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const BenchmarkDef*> Registry::by_group(Group g) const {
+  std::vector<const BenchmarkDef*> out;
+  for (const auto& [_, def] : defs_) {
+    if (def.group == g) out.push_back(&def);
+  }
+  return out;
+}
+
+std::vector<const BenchmarkDef*> Registry::all() const {
+  std::vector<const BenchmarkDef*> out;
+  out.reserve(defs_.size());
+  for (const auto& [_, def] : defs_) out.push_back(&def);
+  return out;
+}
+
+}  // namespace dpf

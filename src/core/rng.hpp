@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic parallel random numbers.
+///
+/// The paper's Monte-Carlo codes (section 4, class 9) "all need a fast
+/// random number generator". On a data-parallel machine the generator must
+/// produce the same stream regardless of the processor count, so we use a
+/// counter-based construction: a SplitMix64-style hash of (seed, counter).
+/// Any element of any stream can be generated independently, which makes
+/// SPMD generation embarrassingly parallel and P-invariant.
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dpf {
+
+/// Stateless counter-based generator: value i of stream `seed` is
+/// hash(seed, i). Copyable; copies with the same seed produce identical
+/// streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed) {}
+
+  /// The i-th 64-bit word of the stream.
+  [[nodiscard]] std::uint64_t bits(std::uint64_t i) const {
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (i + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform(std::uint64_t i) const {
+    return static_cast<double>(bits(i) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(std::uint64_t i, double lo, double hi) const {
+    return lo + (hi - lo) * uniform(i);
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t below(std::uint64_t i, std::uint64_t n) const {
+    return bits(i) % n;
+  }
+
+  /// Derives an independent sub-stream (e.g. one per particle or per axis).
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    return Rng(bits(~stream) ^ (stream * 0xD1B54A32D192ED03ULL));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// A stateful sequential view over an Rng stream, for host-side setup code.
+class SequentialRng {
+ public:
+  explicit SequentialRng(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] double uniform() { return rng_.uniform(next_++); }
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return rng_.uniform(next_++, lo, hi);
+  }
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    return rng_.below(next_++, n);
+  }
+  [[nodiscard]] std::uint64_t bits() { return rng_.bits(next_++); }
+
+ private:
+  Rng rng_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace dpf

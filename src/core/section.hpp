@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file section.hpp
+/// Array sections — the triplet-subscript sublanguage of Fortran-90/HPF
+/// (`A(lo:hi:stride, ...)`). Sections are lightweight views used for the
+/// "array sections" stencil technique of Table 8 and for the *strided*
+/// local-memory-access class of section 1.5 attribute 7.
+
+#include <array>
+#include <cassert>
+
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/ops.hpp"
+
+namespace dpf {
+
+/// One axis of a section: the Fortran triplet lo:hi:stride, half-open on
+/// hi like the rest of this library. Default selects the whole axis.
+struct Triplet {
+  index_t lo = 0;
+  index_t hi = -1;  ///< -1: to the end of the axis
+  index_t stride = 1;
+
+  [[nodiscard]] index_t count(index_t extent) const {
+    const index_t end = hi < 0 ? extent : hi;
+    assert(stride > 0 && lo >= 0 && end <= extent);
+    return lo >= end ? 0 : (end - lo + stride - 1) / stride;
+  }
+};
+
+/// A rank-R rectangular strided view into an Array. Sections do not own
+/// data; they translate section coordinates into the parent's linear space.
+template <typename T, std::size_t R>
+class Section {
+ public:
+  Section(Array<T, R>& parent, const std::array<Triplet, R>& triplets)
+      : parent_(&parent), triplets_(triplets) {
+    const auto strides = parent.shape().strides();
+    for (std::size_t a = 0; a < R; ++a) {
+      counts_[a] = triplets_[a].count(parent.extent(a));
+      step_[a] = triplets_[a].stride * strides[a];
+      base_ += triplets_[a].lo * strides[a];
+    }
+  }
+
+  [[nodiscard]] index_t extent(std::size_t axis) const {
+    return counts_[axis];
+  }
+
+  [[nodiscard]] index_t size() const {
+    index_t n = 1;
+    for (std::size_t a = 0; a < R; ++a) n *= counts_[a];
+    return n;
+  }
+
+  /// Linear index into the parent of section coordinate (i0, i1, ...).
+  template <typename... I>
+    requires(sizeof...(I) == R)
+  [[nodiscard]] index_t parent_index(I... idx) const {
+    const std::array<index_t, R> ii{static_cast<index_t>(idx)...};
+    index_t off = base_;
+    for (std::size_t a = 0; a < R; ++a) {
+      assert(ii[a] >= 0 && ii[a] < counts_[a]);
+      off += ii[a] * step_[a];
+    }
+    return off;
+  }
+
+  template <typename... I>
+    requires(sizeof...(I) == R)
+  [[nodiscard]] T& operator()(I... idx) {
+    return (*parent_)[parent_index(idx...)];
+  }
+
+  template <typename... I>
+    requires(sizeof...(I) == R)
+  [[nodiscard]] const T& operator()(I... idx) const {
+    return (*parent_)[parent_index(idx...)];
+  }
+
+  /// Direct element access in the parent's linear space.
+  [[nodiscard]] T& parent_at(index_t parent_linear) const {
+    return (*parent_)[parent_linear];
+  }
+
+  /// Linear index into the parent of flat section position k (row-major
+  /// over the section's counts).
+  [[nodiscard]] index_t parent_index_flat(index_t k) const {
+    index_t off = base_;
+    for (std::size_t a = R; a-- > 0;) {
+      off += (k % counts_[a]) * step_[a];
+      k /= counts_[a];
+    }
+    return off;
+  }
+
+  /// Section-wide assignment: sec(k) = fn(parent linear index of k), with
+  /// `weighted_flops_per_elem` counted per section element (not per parent
+  /// element — sections are explicit about their extent, unlike masks).
+  template <typename F>
+  void assign_sec(index_t weighted_flops_per_elem, F&& fn) {
+    const index_t n = size();
+    Array<T, R>& parent = *parent_;
+    parallel_range(n, [&](index_t lo, index_t hi) {
+      for (index_t k = lo; k < hi; ++k) {
+        const index_t pi = parent_index_flat(k);
+        parent[pi] = fn(pi);
+      }
+    });
+    flops::add_weighted(weighted_flops_per_elem * n);
+  }
+
+ private:
+  Array<T, R>* parent_;
+  std::array<Triplet, R> triplets_;
+  std::array<index_t, R> counts_{};
+  std::array<index_t, R> step_{};
+  index_t base_ = 0;
+};
+
+/// Builds a section of `a` from one Triplet per axis.
+template <typename T, std::size_t R, typename... Ts>
+  requires(sizeof...(Ts) == R && (std::is_same_v<Ts, Triplet> && ...))
+[[nodiscard]] Section<T, R> section(Array<T, R>& a, Ts... triplets) {
+  return Section<T, R>(a, {triplets...});
+}
+
+/// Copies section src into section dst (same counts): a strided local
+/// memory move, no FLOPs — the `A(2:n:2) = B(1:n/2)` idiom.
+template <typename T, std::size_t R>
+void copy_section(Section<T, R>& dst, const Section<T, R>& src) {
+  assert(src.size() == dst.size());
+  const index_t n = dst.size();
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t k = lo; k < hi; ++k) {
+      dst.parent_at(dst.parent_index_flat(k)) =
+          src.parent_at(src.parent_index_flat(k));
+    }
+  });
+}
+
+}  // namespace dpf

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file shape.hpp
+/// Dense row-major shapes for DPF parallel arrays.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace dpf {
+
+/// Extents of a Rank-dimensional array, stored outermost-first (row major),
+/// matching the order in which the paper writes axes, e.g. X(:serial,:,:)
+/// has extent(0) on the serial axis.
+template <std::size_t Rank>
+class Shape {
+ public:
+  static_assert(Rank >= 1 && Rank <= 7, "DPF arrays have rank 1..7");
+
+  Shape() { extents_.fill(0); }
+
+  /// Constructs from exactly Rank extents.
+  template <typename... E>
+    requires(sizeof...(E) == Rank && (std::is_convertible_v<E, index_t> && ...))
+  explicit Shape(E... e) : extents_{static_cast<index_t>(e)...} {
+    for ([[maybe_unused]] index_t x : extents_) assert(x >= 0);
+  }
+
+  explicit Shape(const std::array<index_t, Rank>& e) : extents_(e) {}
+
+  [[nodiscard]] index_t extent(std::size_t axis) const {
+    assert(axis < Rank);
+    return extents_[axis];
+  }
+
+  [[nodiscard]] const std::array<index_t, Rank>& extents() const {
+    return extents_;
+  }
+
+  /// Total number of elements.
+  [[nodiscard]] index_t size() const {
+    return std::accumulate(extents_.begin(), extents_.end(), index_t{1},
+                           [](index_t a, index_t b) { return a * b; });
+  }
+
+  /// Row-major strides: stride(Rank-1) == 1.
+  [[nodiscard]] std::array<index_t, Rank> strides() const {
+    std::array<index_t, Rank> s{};
+    index_t acc = 1;
+    for (std::size_t a = Rank; a-- > 0;) {
+      s[a] = acc;
+      acc *= extents_[a];
+    }
+    return s;
+  }
+
+  /// Linear row-major offset of a multi-index.
+  template <typename... I>
+    requires(sizeof...(I) == Rank)
+  [[nodiscard]] index_t offset(I... idx) const {
+    const std::array<index_t, Rank> ii{static_cast<index_t>(idx)...};
+    index_t off = 0;
+    for (std::size_t a = 0; a < Rank; ++a) {
+      assert(ii[a] >= 0 && ii[a] < extents_[a]);
+      off = off * extents_[a] + ii[a];
+    }
+    return off;
+  }
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "(";
+    for (std::size_t a = 0; a < Rank; ++a) {
+      if (a) s += ",";
+      s += std::to_string(extents_[a]);
+    }
+    return s + ")";
+  }
+
+ private:
+  std::array<index_t, Rank> extents_;
+};
+
+}  // namespace dpf

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar types, data-type tags and size/notation conventions of
+/// the DPF benchmark suite (paper section 1.5, attribute 3: memory usage).
+
+#include <complex>
+#include <cstdint>
+#include <string_view>
+
+namespace dpf {
+
+/// Index type used throughout the suite. HPF array extents are signed.
+using index_t = std::int64_t;
+
+/// Single- and double-precision complex types used by the kernels.
+using complexf = std::complex<float>;
+using complexd = std::complex<double>;
+
+/// Data-type tags with the standard sizes and symbolic notation used by the
+/// paper: 4(t) integer, 4(l) logical, 4(s) real, 8(d) double, 8(c) complex,
+/// 16(z) double complex.
+enum class DataType : std::uint8_t {
+  Integer,        ///< 4-byte integer, notation "t"
+  Logical,        ///< 4-byte logical, notation "l"
+  Real,           ///< 4-byte single-precision real, notation "s"
+  Double,         ///< 8-byte double-precision real, notation "d"
+  Complex,        ///< 8-byte single-precision complex, notation "c"
+  DoubleComplex,  ///< 16-byte double-precision complex, notation "z"
+};
+
+/// Size in bytes of a DataType, per the paper's accounting conventions.
+[[nodiscard]] constexpr index_t size_of(DataType t) noexcept {
+  switch (t) {
+    case DataType::Integer:
+    case DataType::Logical:
+    case DataType::Real:
+      return 4;
+    case DataType::Double:
+    case DataType::Complex:
+      return 8;
+    case DataType::DoubleComplex:
+      return 16;
+  }
+  return 0;
+}
+
+/// One-letter symbolic notation for a DataType ("t", "l", "s", "d", "c", "z").
+[[nodiscard]] constexpr std::string_view notation_of(DataType t) noexcept {
+  switch (t) {
+    case DataType::Integer: return "t";
+    case DataType::Logical: return "l";
+    case DataType::Real: return "s";
+    case DataType::Double: return "d";
+    case DataType::Complex: return "c";
+    case DataType::DoubleComplex: return "z";
+  }
+  return "?";
+}
+
+/// Maps a C++ element type to its DPF DataType tag.
+template <typename T>
+struct data_type_of;
+
+template <> struct data_type_of<std::int32_t> {
+  static constexpr DataType value = DataType::Integer;
+};
+template <> struct data_type_of<bool> {
+  static constexpr DataType value = DataType::Logical;
+};
+template <> struct data_type_of<std::uint8_t> {
+  static constexpr DataType value = DataType::Logical;
+};
+template <> struct data_type_of<float> {
+  static constexpr DataType value = DataType::Real;
+};
+template <> struct data_type_of<double> {
+  static constexpr DataType value = DataType::Double;
+};
+template <> struct data_type_of<complexf> {
+  static constexpr DataType value = DataType::Complex;
+};
+template <> struct data_type_of<complexd> {
+  static constexpr DataType value = DataType::DoubleComplex;
+};
+// Index arrays (gather/scatter maps) are accounted as 4-byte integers per the
+// paper even though we hold them as 64-bit indices in memory.
+template <> struct data_type_of<std::int64_t> {
+  static constexpr DataType value = DataType::Integer;
+};
+
+template <typename T>
+inline constexpr DataType data_type_of_v = data_type_of<T>::value;
+
+}  // namespace dpf

@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file la.hpp
+/// Umbrella header for the DPF linear-algebra library (the CMSSL
+/// substitute, paper section 3).
+
+#include "la/fft.hpp"           // IWYU pragma: export
+#include "la/gauss_jordan.hpp"  // IWYU pragma: export
+#include "la/jacobi_eig.hpp"    // IWYU pragma: export
+#include "la/lu.hpp"            // IWYU pragma: export
+#include "la/matvec.hpp"        // IWYU pragma: export
+#include "la/qr.hpp"            // IWYU pragma: export
+#include "la/tridiag.hpp"       // IWYU pragma: export

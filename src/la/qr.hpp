@@ -1,0 +1,309 @@
+#pragma once
+
+/// \file qr.hpp
+/// Householder QR factorization and least-squares solve, CMSSL-style
+/// interface.
+///
+/// Data-parallel structure per factorization step (Table 4): 2 Reductions
+/// (the column norm and w = A^T v) and 2 Broadcasts (the Householder vector
+/// v down the rows and w across the columns). The solve applies the stored
+/// reflectors to the right-hand sides and back-substitutes with R.
+///
+/// Reflector convention: H_k = I - beta_k v v^T with v = x - alpha e_1,
+/// alpha = -sign(x_1)||x||, beta = 1/(sigma - alpha x_1), sigma = ||x||^2.
+
+#include <cmath>
+#include <vector>
+
+#include "comm/detail.hpp"
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::la {
+
+/// QR factorization result: R on and above the diagonal of `qr`, the tail of
+/// each Householder vector strictly below it, the leading element v0 and the
+/// scalar beta per reflector held separately.
+struct QrFactor {
+  Array2<double> qr;    ///< (m, n): R upper, reflector tails lower
+  Array1<double> beta;  ///< (n)
+  Array1<double> v0;    ///< (n): leading reflector elements
+  bool rank_deficient = false;
+};
+
+/// Factors a (m x n, m >= n) into Q R. The input is copied.
+inline QrFactor qr_factor(const Array2<double>& a) {
+  const index_t m = a.extent(0);
+  const index_t n = a.extent(1);
+  assert(m >= n);
+  QrFactor f{Array2<double>(a.shape(), a.layout(), MemKind::Temporary),
+             Array1<double>(Shape<1>(n), Layout<1>{}, MemKind::Temporary),
+             Array1<double>(Shape<1>(n), Layout<1>{}, MemKind::Temporary)};
+  copy(a, f.qr);
+  auto& q = f.qr;
+  const int p = Machine::instance().vps();
+
+  for (index_t k = 0; k < n; ++k) {
+    // Reduction 1: squared column norm below (and including) the diagonal.
+    double sigma = 0.0;
+    for (index_t i = k; i < m; ++i) sigma += q(i, k) * q(i, k);
+    flops::add(flops::Kind::AddSubMul, 2 * (m - k));
+    comm::detail::record(CommPattern::Reduction, 2, 0, (m - k) * 8,
+                         (p - 1) * 8);
+    if (sigma == 0.0) {
+      f.beta[k] = 0.0;
+      f.v0[k] = 0.0;
+      f.rank_deficient = true;
+      continue;
+    }
+    const double akk = q(k, k);
+    const double alpha = akk >= 0.0 ? -std::sqrt(sigma) : std::sqrt(sigma);
+    const double v0 = akk - alpha;
+    const double b = 1.0 / (sigma - alpha * akk);
+    flops::add(flops::Kind::DivSqrt, 2);  // sqrt + reciprocal
+    flops::add(flops::Kind::AddSubMul, 3);
+    f.v0[k] = v0;
+    f.beta[k] = b;
+    q(k, k) = alpha;  // R_kk; the tail of v stays in rows k+1..m-1
+
+    const index_t ncols = n - k - 1;
+    // Broadcast 1: the Householder vector to the trailing columns.
+    comm::detail::record(CommPattern::Broadcast, 1, 2, (m - k) * 8,
+                         p > 1 ? (m - k) * 8 * (p - 1) / p : 0);
+    if (ncols > 0) {
+      // Reduction 2: w = v^T A over the trailing columns.
+      std::vector<double> w(static_cast<std::size_t>(ncols), 0.0);
+      parallel_range(ncols, [&](index_t lo, index_t hi) {
+        for (index_t t = lo; t < hi; ++t) {
+          const index_t j = k + 1 + t;
+          double acc = v0 * q(k, j);
+          for (index_t i = k + 1; i < m; ++i) acc += q(i, k) * q(i, j);
+          w[static_cast<std::size_t>(t)] = acc;
+        }
+      });
+      flops::add(flops::Kind::AddSubMul, 2 * (m - k) * ncols);
+      comm::detail::record(CommPattern::Reduction, 2, 1, (m - k) * 8,
+                           (p - 1) * 8);
+      // Broadcast 2: w across the rows.
+      comm::detail::record(CommPattern::Broadcast, 1, 2, ncols * 8,
+                           p > 1 ? ncols * 8 * (p - 1) / p : 0);
+      // Rank-1 update A -= b v w^T over rows k..m-1.
+      parallel_range(m - k, [&](index_t lo, index_t hi) {
+        for (index_t t = lo; t < hi; ++t) {
+          const index_t i = k + t;
+          const double vi = (i == k) ? v0 : q(i, k);
+          const double bv = b * vi;
+          for (index_t j = k + 1; j < n; ++j) {
+            q(i, j) -= bv * w[static_cast<std::size_t>(j - k - 1)];
+          }
+        }
+      });
+      flops::add(flops::Kind::AddSubMul, 3 * (m - k) * ncols);
+    }
+  }
+  return f;
+}
+
+/// Least-squares solve min ||A x - b||: b is (m, r) on input; the leading
+/// (n, r) block of b holds X on output.
+inline void qr_solve(const QrFactor& f, Array2<double>& b) {
+  const index_t m = f.qr.extent(0);
+  const index_t n = f.qr.extent(1);
+  const index_t r = b.extent(1);
+  assert(b.extent(0) == m);
+  const auto& q = f.qr;
+  const int p = Machine::instance().vps();
+
+  // Apply Q^T: for each reflector, s = beta (v^T b), b -= v s^T.
+  for (index_t k = 0; k < n; ++k) {
+    const double beta = f.beta[k];
+    if (beta == 0.0) continue;
+    const double v0 = f.v0[k];
+    std::vector<double> s(static_cast<std::size_t>(r), 0.0);
+    parallel_range(r, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        double acc = v0 * b(k, c);
+        for (index_t i = k + 1; i < m; ++i) acc += q(i, k) * b(i, c);
+        s[static_cast<std::size_t>(c)] = beta * acc;
+      }
+    });
+    flops::add(flops::Kind::AddSubMul, (2 * (m - k) + 1) * r);
+    comm::detail::record(CommPattern::Reduction, 2, 1, (m - k) * 8,
+                         (p - 1) * 8);
+    comm::detail::record(CommPattern::Broadcast, 1, 2, r * 8,
+                         p > 1 ? r * 8 * (p - 1) / p : 0);
+    parallel_range(r, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        const double sc = s[static_cast<std::size_t>(c)];
+        b(k, c) -= v0 * sc;
+        for (index_t i = k + 1; i < m; ++i) b(i, c) -= q(i, k) * sc;
+      }
+    });
+    flops::add(flops::Kind::AddSubMul, 2 * (m - k) * r);
+    comm::detail::record(CommPattern::Broadcast, 1, 2, (m - k) * 8,
+                         p > 1 ? (m - k) * 8 * (p - 1) / p : 0);
+  }
+  // Back substitution with R.
+  for (index_t k = n; k-- > 0;) {
+    const double inv = 1.0 / q(k, k);
+    flops::add(flops::Kind::DivSqrt, 1);
+    parallel_range(r, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        double acc = b(k, c);
+        for (index_t j = k + 1; j < n; ++j) acc -= q(k, j) * b(j, c);
+        b(k, c) = acc * inv;
+      }
+    });
+    flops::add(flops::Kind::AddSubMul, (2 * (n - k - 1) + 1) * r);
+    comm::detail::record(CommPattern::Reduction, 2, 1, (n - k) * 8 * r,
+                         (p - 1) * 8);
+    comm::detail::record(CommPattern::Broadcast, 1, 2, r * 8,
+                         p > 1 ? r * 8 * (p - 1) / p : 0);
+  }
+}
+
+/// Complex Householder QR — the c/z precision rows of Table 4. The
+/// reflector is H = I - beta v v^H with v = x - alpha e1,
+/// alpha = -(x1/|x1|) ||x||, which makes v^H v = 2(sigma + |x1| ||x||) and
+/// beta = 2 / v^H v real. Arithmetic is counted at 4x the real weights.
+struct QrFactorZ {
+  Array2<complexd> qr;
+  Array1<double> beta;
+  Array1<complexd> v0;
+  bool rank_deficient = false;
+};
+
+inline QrFactorZ qr_factor_z(const Array2<complexd>& a) {
+  const index_t m = a.extent(0);
+  const index_t n = a.extent(1);
+  assert(m >= n);
+  QrFactorZ f{
+      Array2<complexd>(a.shape(), a.layout(), MemKind::Temporary),
+      Array1<double>(Shape<1>(n), Layout<1>{}, MemKind::Temporary),
+      Array1<complexd>(Shape<1>(n), Layout<1>{}, MemKind::Temporary)};
+  copy(a, f.qr);
+  auto& q = f.qr;
+  const int p = Machine::instance().vps();
+
+  for (index_t k = 0; k < n; ++k) {
+    double sigma = 0.0;
+    for (index_t i = k; i < m; ++i) sigma += std::norm(q(i, k));
+    flops::add(flops::Kind::AddSubMul, 4 * (m - k));
+    comm::detail::record(CommPattern::Reduction, 2, 0, (m - k) * 16,
+                         (p - 1) * 16);
+    if (sigma == 0.0) {
+      f.beta[k] = 0.0;
+      f.v0[k] = complexd{};
+      f.rank_deficient = true;
+      continue;
+    }
+    const complexd x1 = q(k, k);
+    const double nrm = std::sqrt(sigma);
+    const double ax1 = std::abs(x1);
+    const complexd phase = ax1 > 0 ? x1 / ax1 : complexd(1.0, 0.0);
+    const complexd alpha = -phase * nrm;
+    const complexd v0 = x1 - alpha;
+    const double vtv = 2.0 * (sigma + ax1 * nrm);
+    const double b = 2.0 / vtv;
+    flops::add(flops::Kind::DivSqrt, 3);
+    flops::add(flops::Kind::AddSubMul, 8);
+    f.v0[k] = v0;
+    f.beta[k] = b;
+    q(k, k) = alpha;  // R_kk
+
+    const index_t ncols = n - k - 1;
+    comm::detail::record(CommPattern::Broadcast, 1, 2, (m - k) * 16,
+                         p > 1 ? (m - k) * 16 * (p - 1) / p : 0);
+    if (ncols > 0) {
+      std::vector<complexd> w(static_cast<std::size_t>(ncols));
+      parallel_range(ncols, [&](index_t lo, index_t hi) {
+        for (index_t t = lo; t < hi; ++t) {
+          const index_t j = k + 1 + t;
+          complexd acc = std::conj(v0) * q(k, j);
+          for (index_t i = k + 1; i < m; ++i) {
+            acc += std::conj(q(i, k)) * q(i, j);
+          }
+          w[static_cast<std::size_t>(t)] = acc;
+        }
+      });
+      flops::add(flops::Kind::AddSubMul, 8 * (m - k) * ncols);
+      comm::detail::record(CommPattern::Reduction, 2, 1, (m - k) * 16,
+                           (p - 1) * 16);
+      comm::detail::record(CommPattern::Broadcast, 1, 2, ncols * 16,
+                           p > 1 ? ncols * 16 * (p - 1) / p : 0);
+      parallel_range(m - k, [&](index_t lo, index_t hi) {
+        for (index_t t = lo; t < hi; ++t) {
+          const index_t i = k + t;
+          const complexd vi = (i == k) ? v0 : q(i, k);
+          const complexd bv = b * vi;
+          for (index_t j = k + 1; j < n; ++j) {
+            q(i, j) -= bv * w[static_cast<std::size_t>(j - k - 1)];
+          }
+        }
+      });
+      flops::add(flops::Kind::AddSubMul, 8 * (m - k) * ncols);
+    }
+  }
+  return f;
+}
+
+/// Complex least-squares solve: b is (m, r); the leading (n, r) block holds
+/// X on exit.
+inline void qr_solve_z(const QrFactorZ& f, Array2<complexd>& b) {
+  const index_t m = f.qr.extent(0);
+  const index_t n = f.qr.extent(1);
+  const index_t r = b.extent(1);
+  assert(b.extent(0) == m);
+  const auto& q = f.qr;
+  const int p = Machine::instance().vps();
+
+  for (index_t k = 0; k < n; ++k) {
+    const double beta = f.beta[k];
+    if (beta == 0.0) continue;
+    const complexd v0 = f.v0[k];
+    std::vector<complexd> s(static_cast<std::size_t>(r));
+    parallel_range(r, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        complexd acc = std::conj(v0) * b(k, c);
+        for (index_t i = k + 1; i < m; ++i) {
+          acc += std::conj(q(i, k)) * b(i, c);
+        }
+        s[static_cast<std::size_t>(c)] = beta * acc;
+      }
+    });
+    flops::add(flops::Kind::AddSubMul, (8 * (m - k) + 2) * r);
+    comm::detail::record(CommPattern::Reduction, 2, 1, (m - k) * 16,
+                         (p - 1) * 16);
+    comm::detail::record(CommPattern::Broadcast, 1, 2, r * 16,
+                         p > 1 ? r * 16 * (p - 1) / p : 0);
+    parallel_range(r, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        const complexd sc = s[static_cast<std::size_t>(c)];
+        b(k, c) -= v0 * sc;
+        for (index_t i = k + 1; i < m; ++i) b(i, c) -= q(i, k) * sc;
+      }
+    });
+    flops::add(flops::Kind::AddSubMul, 8 * (m - k) * r);
+    comm::detail::record(CommPattern::Broadcast, 1, 2, (m - k) * 16,
+                         p > 1 ? (m - k) * 16 * (p - 1) / p : 0);
+  }
+  for (index_t k = n; k-- > 0;) {
+    const complexd inv = complexd(1.0, 0.0) / q(k, k);
+    flops::add(flops::Kind::DivSqrt, 4);
+    parallel_range(r, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        complexd acc = b(k, c);
+        for (index_t j = k + 1; j < n; ++j) acc -= q(k, j) * b(j, c);
+        b(k, c) = acc * inv;
+      }
+    });
+    flops::add(flops::Kind::AddSubMul, (8 * (n - k - 1) + 6) * r);
+    comm::detail::record(CommPattern::Reduction, 2, 1, (n - k) * 16 * r,
+                         (p - 1) * 16);
+    comm::detail::record(CommPattern::Broadcast, 1, 2, r * 16,
+                         p > 1 ? r * 16 * (p - 1) / p : 0);
+  }
+}
+
+}  // namespace dpf::la

@@ -1,0 +1,447 @@
+#pragma once
+
+/// \file tridiag.hpp
+/// Tridiagonal system solvers: parallel cyclic reduction (pcr) and the
+/// conjugate gradient method (conj-grad).
+///
+/// pcr, per reduction level (Table 4): the sub/super-diagonal pair is packed
+/// into one two-row array and CSHIFTed in both directions (2), the diagonal
+/// is CSHIFTed in both directions (2), and each right-hand side is CSHIFTed
+/// in both directions (2r) — exactly the paper's (2r + 4) CSHIFTs per
+/// iteration — with ~(5r + 12)n FLOPs of elimination arithmetic.
+///
+/// conj-grad, per iteration (Table 4): the tridiagonal matvec uses 2 CSHIFTs
+/// (halo exchange in each direction) and the iteration performs 3 Reductions
+/// (p.q, r.r, convergence check) and exactly 15n FLOPs: 5n matvec, 2n each
+/// for the two inner products, the two AXPYs and the direction update.
+
+#include <cmath>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/array.hpp"
+#include "core/flops.hpp"
+#include "core/ops.hpp"
+
+namespace dpf::la {
+
+/// Scalar-type trait: the FLOP-weight multiplier of Table 4's s/d vs c/z
+/// rows (complex arithmetic costs 4x under the paper's counting).
+template <typename T>
+inline constexpr index_t flop_scale_v = 1;
+template <>
+inline constexpr index_t flop_scale_v<complexd> = 4;
+template <>
+inline constexpr index_t flop_scale_v<complexf> = 4;
+
+/// Tridiagonal system: sub-diagonal a (a[0] unused), diagonal b,
+/// super-diagonal c (c[n-1] unused). Templated on the scalar type so the
+/// c/z precision rows of Table 4 are first-class.
+template <typename T>
+struct TridiagT {
+  Array1<T> a, b, c;
+  explicit TridiagT(index_t n)
+      : a(Shape<1>(n), Layout<1>{}, MemKind::User),
+        b(Shape<1>(n), Layout<1>{}, MemKind::User),
+        c(Shape<1>(n), Layout<1>{}, MemKind::User) {}
+  [[nodiscard]] index_t n() const { return b.size(); }
+};
+
+using Tridiag = TridiagT<double>;
+
+/// Solves (potentially many) tridiagonal systems by parallel cyclic
+/// reduction. rhs is (r, n): r right-hand sides as rows, each overwritten
+/// with its solution. Requires n to be a power of two for the pure PCR
+/// ladder (the DPF code's assumption).
+template <typename T>
+void pcr_solve(const TridiagT<T>& sys, Array2<T>& rhs) {
+  const index_t n = sys.n();
+  const index_t r = rhs.extent(0);
+  assert(rhs.extent(1) == n);
+
+  // Working copies (library temporaries, like CMSSL scratch).
+  // The sub/super pair is packed as one (2, n) array with a serial leading
+  // axis so one CSHIFT moves both diagonals.
+  Array2<T> ac(Shape<2>(2, n),
+                    Layout<2>(AxisKind::Serial, AxisKind::Parallel),
+                    MemKind::Temporary);
+  Array1<T> b(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      ac(0, i) = sys.a[i];
+      ac(1, i) = sys.c[i];
+      b[i] = sys.b[i];
+    }
+  });
+  Array2<T> f(rhs.shape(),
+                   Layout<2>(AxisKind::Serial, AxisKind::Parallel),
+                   MemKind::Temporary);
+  copy(rhs, f);
+
+  Array2<T> ac_dn(ac.shape(), ac.layout(), MemKind::Temporary);
+  Array2<T> ac_up(ac.shape(), ac.layout(), MemKind::Temporary);
+  Array1<T> b_dn(b.shape(), b.layout(), MemKind::Temporary);
+  Array1<T> b_up(b.shape(), b.layout(), MemKind::Temporary);
+  Array2<T> f_dn(f.shape(), f.layout(), MemKind::Temporary);
+  Array2<T> f_up(f.shape(), f.layout(), MemKind::Temporary);
+  Array2<T> ac_new(ac.shape(), ac.layout(), MemKind::Temporary);
+  Array1<T> b_new(b.shape(), b.layout(), MemKind::Temporary);
+  Array2<T> f_new(f.shape(), f.layout(), MemKind::Temporary);
+
+  for (index_t d = 1; d < n; d *= 2) {
+    // (2r + 4) CSHIFTs: packed sub/super pair both ways, diagonal both
+    // ways, every RHS row both ways (one 2-D CSHIFT covering r rows is
+    // recorded per row to match the paper's per-RHS accounting).
+    comm::cshift_into(ac_dn, ac, 1, -d);
+    comm::cshift_into(ac_up, ac, 1, +d);
+    comm::cshift_into(b_dn, b, 0, -d);
+    comm::cshift_into(b_up, b, 0, +d);
+    comm::cshift_into(f_dn, f, 1, -d);
+    comm::cshift_into(f_up, f, 1, +d);
+    for (index_t extra = 1; extra < r; ++extra) {
+      // Account the remaining per-RHS shifts (the data already moved with
+      // the 2-D shift above; the paper's code shifts each RHS separately).
+      comm::detail::record(CommPattern::CShift, 1, 1, n * 8, 0);
+      comm::detail::record(CommPattern::CShift, 1, 1, n * 8, 0);
+    }
+
+    // Eliminate neighbours at distance d. Out-of-range references are
+    // zeroed (Dirichlet-like boundaries; CMF codes freeze the wrap-around
+    // with WHERE masks).
+    parallel_range(n, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        const bool lo_ok = i >= d;
+        const bool hi_ok = i + d < n;
+        const T am = lo_ok ? ac_dn(0, i) : T{};  // a_{i-d}
+        const T cm = lo_ok ? ac_dn(1, i) : T{};  // c_{i-d}
+        const T ap = hi_ok ? ac_up(0, i) : T{};  // a_{i+d}
+        const T cp = hi_ok ? ac_up(1, i) : T{};  // c_{i+d}
+        const T bm = lo_ok ? b_dn[i] : T{1};
+        const T bp = hi_ok ? b_up[i] : T{1};
+        const T alpha = lo_ok ? -ac(0, i) / bm : T{};
+        const T gamma = hi_ok ? -ac(1, i) / bp : T{};
+        b_new[i] = b[i] + alpha * cm + gamma * ap;
+        ac_new(0, i) = alpha * am;
+        ac_new(1, i) = gamma * cp;
+        for (index_t q = 0; q < r; ++q) {
+          const T fm = lo_ok ? f_dn(q, i) : T{};
+          const T fp = hi_ok ? f_up(q, i) : T{};
+          f_new(q, i) = f(q, i) + alpha * fm + gamma * fp;
+        }
+      }
+    });
+    // 2 divisions (8) + 4 mul/add for b' + 2 for a'/c' => 14, plus 4 per RHS.
+    flops::add_weighted(flop_scale_v<T> * (14 + 4 * r) * n);
+    copy(ac_new, ac);
+    copy(b_new, b);
+    copy(f_new, f);
+  }
+
+  // Fully reduced: x_i = f_i / b_i.
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const T inv = T{1} / b[i];
+      for (index_t q = 0; q < r; ++q) rhs(q, i) = f(q, i) * inv;
+    }
+  });
+  flops::add(flops::Kind::DivSqrt, flop_scale_v<T> * n);
+  flops::add(flops::Kind::AddSubMul, flop_scale_v<T> * n * r);
+}
+
+/// Substructured tridiagonal solve: odd-even cyclic reduction shrinks the
+/// system until it has at most `reduced_size` unknowns, the reduced system
+/// is solved by parallel cyclic reduction, and the eliminated unknowns are
+/// back-substituted. This is diff-1D's "substructuring w/ pcr" (Table 6):
+/// O(n) total work plus an O(P log P) reduced solve.
+inline void cr_pcr_solve(const Tridiag& sys, Array1<double>& rhs,
+                         index_t reduced_size = 0) {
+  const index_t n = sys.n();
+  assert(rhs.size() == n);
+  const int p = Machine::instance().vps();
+  if (reduced_size <= 0) reduced_size = 2 * p;
+
+  // Forward reduction: level l holds the coefficients of the surviving
+  // (even-index) rows.
+  struct Level {
+    std::vector<double> a, b, c, f;
+  };
+  std::vector<Level> levels;
+  {
+    Level l0;
+    l0.a.resize(static_cast<std::size_t>(n));
+    l0.b.resize(static_cast<std::size_t>(n));
+    l0.c.resize(static_cast<std::size_t>(n));
+    l0.f.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      l0.a[static_cast<std::size_t>(i)] = sys.a[i];
+      l0.b[static_cast<std::size_t>(i)] = sys.b[i];
+      l0.c[static_cast<std::size_t>(i)] = sys.c[i];
+      l0.f[static_cast<std::size_t>(i)] = rhs[i];
+    }
+    levels.push_back(std::move(l0));
+  }
+  while (static_cast<index_t>(levels.back().b.size()) > reduced_size) {
+    const Level& cur = levels.back();
+    const index_t m = static_cast<index_t>(cur.b.size());
+    const index_t mh = (m + 1) / 2;  // even indices 0, 2, 4, ... survive
+    Level nxt;
+    nxt.a.resize(static_cast<std::size_t>(mh));
+    nxt.b.resize(static_cast<std::size_t>(mh));
+    nxt.c.resize(static_cast<std::size_t>(mh));
+    nxt.f.resize(static_cast<std::size_t>(mh));
+    parallel_range(mh, [&](index_t lo, index_t hi) {
+      for (index_t k = lo; k < hi; ++k) {
+        const index_t i = 2 * k;
+        const auto si = static_cast<std::size_t>(i);
+        double alpha = 0.0, gamma = 0.0;
+        if (i > 0) alpha = -cur.a[si] / cur.b[si - 1];
+        if (i + 1 < m) gamma = -cur.c[si] / cur.b[si + 1];
+        nxt.b[static_cast<std::size_t>(k)] =
+            cur.b[si] + (i > 0 ? alpha * cur.c[si - 1] : 0.0) +
+            (i + 1 < m ? gamma * cur.a[si + 1] : 0.0);
+        nxt.a[static_cast<std::size_t>(k)] =
+            i > 0 ? alpha * cur.a[si - 1] : 0.0;
+        nxt.c[static_cast<std::size_t>(k)] =
+            i + 1 < m ? gamma * cur.c[si + 1] : 0.0;
+        nxt.f[static_cast<std::size_t>(k)] =
+            cur.f[si] + (i > 0 ? alpha * cur.f[si - 1] : 0.0) +
+            (i + 1 < m ? gamma * cur.f[si + 1] : 0.0);
+      }
+    });
+    // 2 divisions + 8 mul/add per surviving row.
+    flops::add_weighted((2 * 4 + 8) * mh);
+    // Neighbour access at stride 1 on the current level: 2 CSHIFTs.
+    comm::detail::record(CommPattern::CShift, 1, 1, m * 8,
+                         p > 1 ? p * 8 : 0);
+    comm::detail::record(CommPattern::CShift, 1, 1, m * 8,
+                         p > 1 ? p * 8 : 0);
+    levels.push_back(std::move(nxt));
+  }
+
+  // Solve the reduced system with PCR (it records its own counts).
+  {
+    Level& red = levels.back();
+    const index_t m = static_cast<index_t>(red.b.size());
+    // PCR ladder needs a power-of-two span; pad with identity rows.
+    index_t mp = 1;
+    while (mp < m) mp *= 2;
+    Tridiag rsys(mp);
+    Array2<double> rrhs{Shape<2>(1, mp),
+                        Layout<2>(AxisKind::Serial, AxisKind::Parallel)};
+    rsys.a.fill(0.0);
+    rsys.b.fill(1.0);
+    rsys.c.fill(0.0);
+    for (index_t i = 0; i < m; ++i) {
+      rsys.a[i] = red.a[static_cast<std::size_t>(i)];
+      rsys.b[i] = red.b[static_cast<std::size_t>(i)];
+      rsys.c[i] = red.c[static_cast<std::size_t>(i)];
+      rrhs(0, i) = red.f[static_cast<std::size_t>(i)];
+    }
+    pcr_solve(rsys, rrhs);
+    for (index_t i = 0; i < m; ++i) {
+      red.f[static_cast<std::size_t>(i)] = rrhs(0, i);  // holds x now
+    }
+  }
+
+  // Back-substitution: odd rows of each level from the solved even rows.
+  for (std::size_t lv = levels.size() - 1; lv-- > 0;) {
+    Level& cur = levels[lv];
+    const Level& fine = levels[lv + 1];
+    const index_t m = static_cast<index_t>(cur.b.size());
+    std::vector<double> x(static_cast<std::size_t>(m));
+    parallel_range(m, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        if (i % 2 == 0) {
+          x[static_cast<std::size_t>(i)] =
+              fine.f[static_cast<std::size_t>(i / 2)];
+        }
+      }
+    });
+    parallel_range(m, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        if (i % 2 == 1) {
+          const auto si = static_cast<std::size_t>(i);
+          double acc = cur.f[si];
+          acc -= cur.a[si] * x[si - 1];
+          if (i + 1 < m) acc -= cur.c[si] * x[si + 1];
+          x[si] = acc / cur.b[si];
+        }
+      }
+    });
+    flops::add_weighted((4 + 4) * (m / 2));
+    comm::detail::record(CommPattern::CShift, 1, 1, m * 8, p > 1 ? p * 8 : 0);
+    cur.f.assign(x.begin(), x.end());
+  }
+  for (index_t i = 0; i < n; ++i) rhs[i] = levels[0].f[static_cast<std::size_t>(i)];
+}
+
+/// Result of a conjugate-gradient solve.
+struct CgResult {
+  index_t iterations = 0;
+  double residual_norm2 = 0.0;
+  bool converged = false;
+};
+
+/// Solves the symmetric positive-definite tridiagonal system sys * x = rhs
+/// by the conjugate gradient method. x holds the initial guess on entry.
+inline CgResult conj_grad_solve(const Tridiag& sys, Array1<double>& x,
+                                const Array1<double>& rhs, index_t max_iters,
+                                double tol) {
+  const index_t n = sys.n();
+  assert(x.size() == n && rhs.size() == n);
+
+  Array1<double> rr(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  Array1<double> pp(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  Array1<double> q(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  Array1<double> p_up(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  Array1<double> p_dn(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+
+  // r = rhs - A x  (setup; outside the timed main loop pattern).
+  comm::cshift_into(p_up, x, 0, +1);
+  comm::cshift_into(p_dn, x, 0, -1);
+  assign(rr, 5, [&](index_t i) {
+    const double lo = i > 0 ? sys.a[i] * p_dn[i] : 0.0;
+    const double hi = i + 1 < n ? sys.c[i] * p_up[i] : 0.0;
+    return rhs[i] - (sys.b[i] * x[i] + lo + hi);
+  });
+  copy(rr, pp);
+  double rho = comm::dot(rr, rr);
+
+  CgResult res;
+  for (index_t it = 0; it < max_iters; ++it) {
+    // Tridiagonal matvec q = A p: 2 CSHIFTs + 5n FLOPs.
+    comm::cshift_into(p_up, pp, 0, +1);
+    comm::cshift_into(p_dn, pp, 0, -1);
+    assign(q, 5, [&](index_t i) {
+      const double lo = i > 0 ? sys.a[i] * p_dn[i] : 0.0;
+      const double hi = i + 1 < n ? sys.c[i] * p_up[i] : 0.0;
+      return sys.b[i] * pp[i] + lo + hi;
+    });
+    // Reduction 1: p . q.
+    const double pq = comm::dot(pp, q);
+    const double alpha = rho / pq;
+    flops::add(flops::Kind::DivSqrt, 1);
+    // AXPYs: x += alpha p, r -= alpha q (2n each).
+    update(x, 2, [&](index_t i, double xi) { return xi + alpha * pp[i]; });
+    update(rr, 2, [&](index_t i, double ri) { return ri - alpha * q[i]; });
+    // Reduction 2: rho' = r . r.
+    const double rho_new = comm::dot(rr, rr);
+    // Reduction 3: convergence check (max |r|).
+    const double rmax = comm::reduce_absmax(rr);
+    ++res.iterations;
+    if (rmax < tol) {
+      res.converged = true;
+      res.residual_norm2 = rho_new;
+      break;
+    }
+    const double beta = rho_new / rho;
+    flops::add(flops::Kind::DivSqrt, 1);
+    // Direction update p = r + beta p (2n).
+    update(pp, 2, [&](index_t i, double pi) { return rr[i] + beta * pi; });
+    rho = rho_new;
+    res.residual_norm2 = rho_new;
+  }
+  return res;
+}
+
+/// Optimized conjugate gradient: identical algorithm and identical logical
+/// communication structure (2 CSHIFTs + 3 Reductions per iteration), but
+/// the five vector sweeps of the basic version are fused into two passes —
+/// the matvec is fused with the p.q inner product and the two AXPYs with
+/// the r.r / max|r| reductions — the "highly performance oriented
+/// programmer" version of section 1.2.
+inline CgResult conj_grad_solve_fused(const Tridiag& sys, Array1<double>& x,
+                                      const Array1<double>& rhs,
+                                      index_t max_iters, double tol) {
+  const index_t n = sys.n();
+  assert(x.size() == n && rhs.size() == n);
+  const int p = Machine::instance().vps();
+
+  Array1<double> rr(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  Array1<double> pp(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+  Array1<double> q(Shape<1>(n), Layout<1>{}, MemKind::Temporary);
+
+  // r = rhs - A x, fused.
+  parallel_range(n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const double left = i > 0 ? sys.a[i] * x[i - 1] : 0.0;
+      const double right = i + 1 < n ? sys.c[i] * x[i + 1] : 0.0;
+      rr[i] = rhs[i] - (sys.b[i] * x[i] + left + right);
+    }
+  });
+  flops::add_weighted(6 * n);
+  copy(rr, pp);
+  double rho = comm::dot(rr, rr);
+
+  CgResult res;
+  const index_t nvp = Machine::instance().vps();
+  std::vector<double> part_pq(static_cast<std::size_t>(nvp));
+  std::vector<double> part_rr(static_cast<std::size_t>(nvp));
+  std::vector<double> part_mx(static_cast<std::size_t>(nvp));
+
+  for (index_t it = 0; it < max_iters; ++it) {
+    // Pass 1: q = A p fused with the p.q partial sums. The halo reads are
+    // direct neighbour accesses; the off-processor traffic is the same as
+    // the basic version's 2 CSHIFTs and is recorded as such.
+    for_each_block(n, [&](int vp, Block b) {
+      double acc = 0.0;
+      for (index_t i = b.begin; i < b.end; ++i) {
+        const double left = i > 0 ? sys.a[i] * pp[i - 1] : 0.0;
+        const double right = i + 1 < n ? sys.c[i] * pp[i + 1] : 0.0;
+        const double qi = sys.b[i] * pp[i] + left + right;
+        q[i] = qi;
+        acc += pp[i] * qi;
+      }
+      part_pq[static_cast<std::size_t>(vp)] = acc;
+    });
+    flops::add_weighted(5 * n);
+    comm::detail::record(CommPattern::CShift, 1, 1, n * 8, p > 1 ? p * 8 : 0);
+    comm::detail::record(CommPattern::CShift, 1, 1, n * 8, p > 1 ? p * 8 : 0);
+    flops::add(flops::Kind::AddSubMul, n);
+    flops::add_reduction(n);
+    comm::detail::record(CommPattern::Reduction, 1, 0, n * 8, (p - 1) * 8);
+    double pq = 0.0;
+    for (double v : part_pq) pq += v;
+
+    const double alpha = rho / pq;
+    flops::add(flops::Kind::DivSqrt, 1);
+    // Pass 2: both AXPYs fused with the rho' and max|r| partials.
+    for_each_block(n, [&](int vp, Block b) {
+      double acc = 0.0, mx = 0.0;
+      for (index_t i = b.begin; i < b.end; ++i) {
+        x[i] += alpha * pp[i];
+        const double ri = rr[i] - alpha * q[i];
+        rr[i] = ri;
+        acc += ri * ri;
+        mx = std::max(mx, std::abs(ri));
+      }
+      part_rr[static_cast<std::size_t>(vp)] = acc;
+      part_mx[static_cast<std::size_t>(vp)] = mx;
+    });
+    flops::add_weighted(4 * n);
+    flops::add(flops::Kind::AddSubMul, n);
+    flops::add_reduction(n);
+    flops::add_reduction(n);
+    comm::detail::record(CommPattern::Reduction, 1, 0, n * 8, (p - 1) * 8);
+    comm::detail::record(CommPattern::Reduction, 1, 0, n * 8, (p - 1) * 8);
+    double rho_new = 0.0, rmax = 0.0;
+    for (int vp = 0; vp < nvp; ++vp) {
+      rho_new += part_rr[static_cast<std::size_t>(vp)];
+      rmax = std::max(rmax, part_mx[static_cast<std::size_t>(vp)]);
+    }
+    ++res.iterations;
+    if (rmax < tol) {
+      res.converged = true;
+      res.residual_norm2 = rho_new;
+      break;
+    }
+    const double beta = rho_new / rho;
+    flops::add(flops::Kind::DivSqrt, 1);
+    update(pp, 2, [&](index_t i, double pi) { return rr[i] + beta * pi; });
+    rho = rho_new;
+    res.residual_norm2 = rho_new;
+  }
+  return res;
+}
+
+}  // namespace dpf::la

@@ -1,0 +1,51 @@
+#include "suite/register_all.hpp"
+
+namespace dpf::suite {
+
+// Individual application benchmark registrations; each lives in its own
+// translation unit under src/suite/apps/.
+void register_boson_benchmark();
+void register_diff1d_benchmark();
+void register_diff2d_benchmark();
+void register_diff3d_benchmark();
+void register_ellip2d_benchmark();
+void register_fem3d_benchmark();
+void register_fermion_benchmark();
+void register_gmo_benchmark();
+void register_ks_spectral_benchmark();
+void register_md_benchmark();
+void register_mdcell_benchmark();
+void register_nbody_benchmark();
+void register_pic_simple_benchmark();
+void register_pic_gather_scatter_benchmark();
+void register_qcd_kernel_benchmark();
+void register_qmc_benchmark();
+void register_qptransport_benchmark();
+void register_rp_benchmark();
+void register_step4_benchmark();
+void register_wave1d_benchmark();
+
+void register_app_benchmarks() {
+  register_boson_benchmark();
+  register_diff1d_benchmark();
+  register_diff2d_benchmark();
+  register_diff3d_benchmark();
+  register_ellip2d_benchmark();
+  register_fem3d_benchmark();
+  register_fermion_benchmark();
+  register_gmo_benchmark();
+  register_ks_spectral_benchmark();
+  register_md_benchmark();
+  register_mdcell_benchmark();
+  register_nbody_benchmark();
+  register_pic_simple_benchmark();
+  register_pic_gather_scatter_benchmark();
+  register_qcd_kernel_benchmark();
+  register_qmc_benchmark();
+  register_qptransport_benchmark();
+  register_rp_benchmark();
+  register_step4_benchmark();
+  register_wave1d_benchmark();
+}
+
+}  // namespace dpf::suite

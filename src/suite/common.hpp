@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared helpers for benchmark implementations: deterministic input
+/// generators and metric plumbing.
+
+#include <cmath>
+
+#include "core/array.hpp"
+#include "core/metrics.hpp"
+#include "core/ops.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+
+namespace dpf::suite {
+
+/// Fills an array with uniform values in [lo, hi) from a named stream.
+template <typename T, std::size_t R>
+void fill_uniform(Array<T, R>& a, std::uint64_t seed, double lo, double hi) {
+  const Rng rng(seed);
+  assign(a, 0, [&](index_t i) {
+    return static_cast<T>(rng.uniform(static_cast<std::uint64_t>(i), lo, hi));
+  });
+}
+
+/// Diagonally-dominant random dense matrix (guaranteed nonsingular).
+inline Array2<double> random_dense(index_t n, index_t m, std::uint64_t seed,
+                                   double diag_boost = 0.0) {
+  auto a = make_matrix<double>(n, m);
+  const Rng rng(seed);
+  assign(a, 0, [&](index_t k) {
+    const index_t i = k / m;
+    const index_t j = k % m;
+    double v = rng.uniform(static_cast<std::uint64_t>(k), -1.0, 1.0);
+    if (i == j) v += diag_boost;
+    return v;
+  });
+  return a;
+}
+
+/// Runs `body` under a MetricScope and stores the result as a named segment.
+template <typename F>
+void timed_segment(RunResult& r, const std::string& name, F&& body) {
+  MetricScope scope;
+  body();
+  r.segments[name] = scope.stop();
+}
+
+}  // namespace dpf::suite

@@ -1,0 +1,80 @@
+/// \file conj_grad_bench.cpp
+/// conj-grad: tridiagonal solver by the conjugate gradient method.
+/// Table 4 row: 15n FLOPs/iter, 40n bytes (d), 4 CSHIFTs + 3 Reductions per
+/// iteration (our halo exchange uses 2 CSHIFTs; see EXPERIMENTS.md).
+
+#include "la/tridiag.hpp"
+#include "suite/common.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf::suite {
+namespace {
+
+RunResult run_conj_grad(const RunConfig& cfg) {
+  const index_t n = cfg.get("n", 512);
+  const index_t max_iters = cfg.get("iters", 200);
+
+  RunResult res;
+  memory::Scope mem;
+  la::Tridiag sys(n);
+  const Rng rng(0xF1);
+  for (index_t i = 0; i < n; ++i) {
+    sys.b[i] = 3.0 + rng.uniform(static_cast<std::uint64_t>(i));
+    sys.a[i] = (i > 0) ? -1.0 : 0.0;
+    sys.c[i] = (i + 1 < n) ? -1.0 : 0.0;
+  }
+  auto rhs = make_vector<double>(n);
+  auto x = make_vector<double>(n);
+  fill_uniform(rhs, 0xF2, -1, 1);
+
+  MetricScope scope;
+  const auto cg = cfg.version == Version::Optimized
+                      ? la::conj_grad_solve_fused(sys, x, rhs, max_iters, 1e-10)
+                      : la::conj_grad_solve(sys, x, rhs, max_iters, 1e-10);
+  res.metrics = scope.stop();
+  res.metrics.memory_bytes = mem.peak();
+
+  double err = 0;
+  for (index_t i = 0; i < n; ++i) {
+    double acc = sys.b[i] * x[i];
+    if (i > 0) acc += sys.a[i] * x[i - 1];
+    if (i + 1 < n) acc += sys.c[i] * x[i + 1];
+    err = std::max(err, std::abs(acc - rhs[i]));
+  }
+  res.checks["residual"] = err;
+  res.checks["iterations"] = static_cast<double>(cg.iterations);
+  res.checks["converged"] = cg.converged ? 1.0 : 0.0;
+  return res;
+}
+
+CountModel model_conj_grad(const RunConfig& cfg) {
+  const index_t n = cfg.get("n", 512);
+  CountModel m;
+  m.flops_per_iter = 15.0 * static_cast<double>(n);
+  m.memory_bytes = 40 * n;  // x, rhs + the three diagonals (5 doubles/point)
+  m.comm_per_iter[CommPattern::CShift] = 2;
+  m.comm_per_iter[CommPattern::Reduction] = 3;
+  m.flop_rel_tol = 0.10;  // ours is 16n (convergence-check reduction)
+  return m;
+}
+
+}  // namespace
+
+void register_conj_grad_benchmark() {
+  Registry::instance().add(BenchmarkDef{
+      .name = "conj-grad",
+      .group = Group::LinearAlgebra,
+      .versions = {Version::Basic, Version::Optimized},
+      .local_access = LocalAccess::NA,
+      .layouts = {"X(:)"},
+      .techniques = {{"cshift", "halo exchange for the tridiagonal matvec"}},
+      .default_params = {{"n", 512}, {"iters", 200}},
+      .run = run_conj_grad,
+      .model = model_conj_grad,
+      .paper_flops = "15n",
+      .paper_memory = "d: 40n",
+      .paper_comm = "4 CSHIFTs, 3 Reductions",
+  });
+}
+
+}  // namespace dpf::suite

@@ -1,0 +1,27 @@
+#include "suite/register_all.hpp"
+
+namespace dpf::suite {
+
+// Individual linear-algebra benchmark registrations; each lives in its own
+// translation unit under src/suite/la/.
+void register_matvec_benchmark();
+void register_lu_benchmark();
+void register_qr_benchmark();
+void register_gauss_jordan_benchmark();
+void register_pcr_benchmark();
+void register_conj_grad_benchmark();
+void register_jacobi_benchmark();
+void register_fft_benchmark();
+
+void register_la_benchmarks() {
+  register_matvec_benchmark();
+  register_lu_benchmark();
+  register_qr_benchmark();
+  register_gauss_jordan_benchmark();
+  register_pcr_benchmark();
+  register_conj_grad_benchmark();
+  register_jacobi_benchmark();
+  register_fft_benchmark();
+}
+
+}  // namespace dpf::suite

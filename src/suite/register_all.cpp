@@ -1,0 +1,16 @@
+#include "suite/register_all.hpp"
+
+#include <mutex>
+
+namespace dpf {
+
+void register_all_benchmarks() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    suite::register_comm_benchmarks();
+    suite::register_la_benchmarks();
+    suite::register_app_benchmarks();
+  });
+}
+
+}  // namespace dpf

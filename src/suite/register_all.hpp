@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file register_all.hpp
+/// Registration entry points for the three benchmark groups.
+
+#include "core/registry.hpp"
+
+namespace dpf::suite {
+
+/// Section 2: gather, scatter, reduction, transpose.
+void register_comm_benchmarks();
+
+/// Section 3: matrix-vector, lu, qr, gauss-jordan, pcr, conj-grad, jacobi, fft.
+void register_la_benchmarks();
+
+/// Section 4: the twenty application codes.
+void register_app_benchmarks();
+
+}  // namespace dpf::suite

@@ -1,0 +1,152 @@
+// Communication primitives on higher-rank arrays: the suite's apps use up
+// to rank-6 objects (qcd-kernel), so the generic axis machinery must be
+// exact on every axis of every rank.
+
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "core/rng.hpp"
+
+namespace dpf {
+namespace {
+
+template <std::size_t R>
+Array<double, R> random_array(const Shape<R>& shape, std::uint64_t seed) {
+  Array<double, R> a(shape, Layout<R>{}, MemKind::Temporary);
+  const Rng rng(seed);
+  for (index_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform(static_cast<std::uint64_t>(i), -1, 1);
+  }
+  return a;
+}
+
+TEST(CommMultirank, CshiftRank4EveryAxis) {
+  auto a = random_array(Shape<4>(3, 4, 5, 2), 1);
+  for (std::size_t axis = 0; axis < 4; ++axis) {
+    auto r = comm::cshift(a, axis, 1);
+    for (index_t i = 0; i < 3; ++i) {
+      for (index_t j = 0; j < 4; ++j) {
+        for (index_t k = 0; k < 5; ++k) {
+          for (index_t l = 0; l < 2; ++l) {
+            const index_t ii = axis == 0 ? (i + 1) % 3 : i;
+            const index_t jj = axis == 1 ? (j + 1) % 4 : j;
+            const index_t kk = axis == 2 ? (k + 1) % 5 : k;
+            const index_t ll = axis == 3 ? (l + 1) % 2 : l;
+            EXPECT_EQ(r(i, j, k, l), a(ii, jj, kk, ll))
+                << "axis " << axis;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CommMultirank, CshiftRank5RoundTrip) {
+  Array<double, 5> a(Shape<5>(2, 3, 2, 3, 4), Layout<5>{},
+                     MemKind::Temporary);
+  const Rng rng(2);
+  for (index_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform(static_cast<std::uint64_t>(i));
+  }
+  for (std::size_t axis = 0; axis < 5; ++axis) {
+    auto fwd = comm::cshift(a, axis, 2);
+    auto back = comm::cshift(fwd, axis, -2);
+    for (index_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(back[i], a[i]) << "axis " << axis;
+    }
+  }
+}
+
+TEST(CommMultirank, ReduceAxisOnRank3) {
+  Array3<double> a(Shape<3>(2, 3, 4), Layout<3>{}, MemKind::Temporary);
+  for (index_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i);
+  // Sum over the middle axis.
+  auto r = comm::reduce_axis_sum(a, 1);
+  ASSERT_EQ(r.extent(0), 2);
+  ASSERT_EQ(r.extent(1), 4);
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t k = 0; k < 4; ++k) {
+      double expect = 0;
+      for (index_t j = 0; j < 3; ++j) expect += a(i, j, k);
+      EXPECT_DOUBLE_EQ(r(i, k), expect);
+    }
+  }
+}
+
+TEST(CommMultirank, ScanAlongEachAxisOfRank3) {
+  Array3<double> a(Shape<3>(3, 3, 3), Layout<3>{}, MemKind::Temporary);
+  fill_par(a, 1.0);
+  Array3<double> out(a.shape(), a.layout(), MemKind::Temporary);
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    comm::scan_sum_axis_into(out, a, axis);
+    for (index_t i = 0; i < 3; ++i) {
+      for (index_t j = 0; j < 3; ++j) {
+        for (index_t k = 0; k < 3; ++k) {
+          const index_t pos = axis == 0 ? i : (axis == 1 ? j : k);
+          EXPECT_DOUBLE_EQ(out(i, j, k), static_cast<double>(pos + 1))
+              << "axis " << axis;
+        }
+      }
+    }
+  }
+}
+
+TEST(CommMultirank, SpreadIntoRank3) {
+  Array2<double> src(Shape<2>(2, 3), Layout<2>{}, MemKind::Temporary);
+  for (index_t i = 0; i < src.size(); ++i) src[i] = static_cast<double>(i);
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    auto dst = comm::spread(src, axis, 4);
+    ASSERT_EQ(dst.extent(axis), 4);
+    for (index_t i = 0; i < dst.extent(0); ++i) {
+      for (index_t j = 0; j < dst.extent(1); ++j) {
+        for (index_t k = 0; k < dst.extent(2); ++k) {
+          index_t s0, s1;
+          if (axis == 0) {
+            s0 = j; s1 = k;
+          } else if (axis == 1) {
+            s0 = i; s1 = k;
+          } else {
+            s0 = i; s1 = j;
+          }
+          EXPECT_EQ(dst(i, j, k), src(s0, s1)) << "axis " << axis;
+        }
+      }
+    }
+  }
+}
+
+TEST(CommMultirank, GatherBetweenRanks) {
+  // 3-D to 1-D gather (the pic-gather-scatter pattern).
+  Array3<double> grid(Shape<3>(4, 4, 4), Layout<3>{}, MemKind::Temporary);
+  for (index_t i = 0; i < grid.size(); ++i) grid[i] = 2.0 * i;
+  Array1<double> particles(Shape<1>(10), Layout<1>{}, MemKind::Temporary);
+  Array1<index_t> map(Shape<1>(10), Layout<1>{}, MemKind::Temporary);
+  for (index_t i = 0; i < 10; ++i) map[i] = (i * 7) % 64;
+  CommLog::instance().reset();
+  comm::gather_into(particles, grid, map);
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(particles[i], grid[(i * 7) % 64]);
+  }
+  const auto e = CommLog::instance().events().back();
+  EXPECT_EQ(e.src_rank, 3);
+  EXPECT_EQ(e.dst_rank, 1);
+}
+
+TEST(CommMultirank, EoshiftRank3SerialAxis) {
+  Array3<double> a(Shape<3>(2, 5, 3),
+                   Layout<3>(AxisKind::Serial, AxisKind::Parallel,
+                             AxisKind::Parallel),
+                   MemKind::Temporary);
+  for (index_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i + 1);
+  auto r = comm::eoshift(a, 0, 1, 0.0);  // shift along the serial axis
+  for (index_t j = 0; j < 5; ++j) {
+    for (index_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(r(0, j, k), a(1, j, k));
+      EXPECT_EQ(r(1, j, k), 0.0);
+    }
+  }
+  EXPECT_EQ(CommLog::instance().events().back().offproc_bytes, 0);
+}
+
+}  // namespace
+}  // namespace dpf

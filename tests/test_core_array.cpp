@@ -1,0 +1,131 @@
+// Unit tests for the core array model: Shape, Layout, Array, block
+// distribution and memory accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/array.hpp"
+#include "core/layout.hpp"
+#include "core/shape.hpp"
+
+namespace dpf {
+namespace {
+
+TEST(Shape, SizeAndStrides) {
+  Shape<3> s(2, 3, 4);
+  EXPECT_EQ(s.size(), 24);
+  const auto st = s.strides();
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+  EXPECT_EQ(s.offset(1, 2, 3), 23);
+  EXPECT_EQ(s.offset(0, 0, 0), 0);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape<2>(5, 7).to_string(), "(5,7)");
+}
+
+TEST(Layout, Notation) {
+  Layout<3> l(AxisKind::Serial, AxisKind::Parallel, AxisKind::Parallel);
+  EXPECT_EQ(l.to_string(), "(:serial,:,:)");
+  EXPECT_EQ(l.distributed_axis(), 1u);
+  EXPECT_EQ(l.serial_axes(), 1u);
+  EXPECT_TRUE(l.has_parallel_axis());
+}
+
+TEST(Layout, AllSerialHasNoDistributedAxis) {
+  Layout<2> l(AxisKind::Serial, AxisKind::Serial);
+  EXPECT_EQ(l.distributed_axis(), 2u);
+  EXPECT_FALSE(l.has_parallel_axis());
+}
+
+TEST(BlockDistribution, CoversRangeWithoutOverlap) {
+  for (index_t n : {0, 1, 5, 16, 17, 100}) {
+    for (int p : {1, 2, 3, 4, 7}) {
+      index_t covered = 0;
+      index_t prev_end = 0;
+      for (int vp = 0; vp < p; ++vp) {
+        const Block b = block_of(n, p, vp);
+        EXPECT_EQ(b.begin, prev_end);
+        prev_end = b.end;
+        covered += b.size();
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(BlockDistribution, OwnerMatchesBlocks) {
+  for (index_t n : {1, 5, 16, 17, 100}) {
+    for (int p : {1, 2, 3, 4, 7}) {
+      for (index_t i = 0; i < n; ++i) {
+        const int o = owner_of(n, p, i);
+        const Block b = block_of(n, p, o);
+        EXPECT_GE(i, b.begin);
+        EXPECT_LT(i, b.end);
+      }
+    }
+  }
+}
+
+TEST(Array, ElementAccess) {
+  Array2<double> a(Shape<2>(3, 4));
+  a(1, 2) = 42.0;
+  EXPECT_EQ(a(1, 2), 42.0);
+  EXPECT_EQ(a[1 * 4 + 2], 42.0);
+  EXPECT_EQ(a.size(), 12);
+}
+
+TEST(Array, MemoryAccountingTracksUserArrays) {
+  const auto before = memory::current_bytes();
+  {
+    Array1<double> a(Shape<1>(100));  // 8 * 100 = 800 bytes (type d)
+    EXPECT_EQ(memory::current_bytes() - before, 800);
+    Array1<float> b(Shape<1>(100));  // 4 * 100 (type s)
+    EXPECT_EQ(memory::current_bytes() - before, 1200);
+  }
+  EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(Array, TemporariesAreNotTracked) {
+  const auto before = memory::current_bytes();
+  Array1<double> t(Shape<1>(1000), Layout<1>{}, MemKind::Temporary);
+  EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(Array, CopyAndMoveKeepAccountingBalanced) {
+  const auto before = memory::current_bytes();
+  {
+    Array1<double> a(Shape<1>(10));
+    Array1<double> b = a;  // copy: both tracked
+    EXPECT_EQ(memory::current_bytes() - before, 160);
+    Array1<double> c = std::move(a);  // move: total unchanged
+    EXPECT_EQ(memory::current_bytes() - before, 160);
+    b = c;  // copy-assign over tracked array
+    EXPECT_EQ(memory::current_bytes() - before, 160);
+  }
+  EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(Array, PaperByteConventions) {
+  EXPECT_EQ(make_vector<float>(10).bytes(), 40);          // 4(s)
+  EXPECT_EQ(make_vector<double>(10).bytes(), 80);         // 8(d)
+  EXPECT_EQ(make_vector<complexf>(10).bytes(), 80);       // 8(c)
+  EXPECT_EQ(make_vector<complexd>(10).bytes(), 160);      // 16(z)
+  EXPECT_EQ(make_vector<std::int32_t>(10).bytes(), 40);   // 4(t)
+}
+
+TEST(Array, DistributedExtentAndSlotVolume) {
+  Array3<double> a(Shape<3>(2, 6, 5),
+                   Layout<3>(AxisKind::Serial, AxisKind::Parallel,
+                             AxisKind::Parallel));
+  EXPECT_EQ(a.distributed_extent(), 6);
+  EXPECT_EQ(a.slot_volume(), 5);
+  Array2<double> s(Shape<2>(3, 4),
+                   Layout<2>(AxisKind::Serial, AxisKind::Serial));
+  EXPECT_EQ(s.distributed_extent(), 1);
+}
+
+}  // namespace
+}  // namespace dpf

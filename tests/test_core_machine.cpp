@@ -1,0 +1,139 @@
+// Tests for the virtual-processor machine model: SPMD execution, busy-time
+// accounting, reconfiguration, and the elapsed-vs-busy relationship the
+// paper's timers rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+
+namespace dpf {
+namespace {
+
+class MachineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Machine::instance().configure(Machine::default_vps());
+  }
+};
+
+TEST_F(MachineTest, SpmdRunsEveryVpExactlyOnce) {
+  Machine& m = Machine::instance();
+  for (int p : {1, 2, 3, 7, 16}) {
+    m.configure(p);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(p));
+    m.spmd([&](int vp) {
+      hits[static_cast<std::size_t>(vp)].fetch_add(1);
+    });
+    for (int vp = 0; vp < p; ++vp) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(vp)].load(), 1)
+          << "p=" << p << " vp=" << vp;
+    }
+  }
+}
+
+TEST_F(MachineTest, RepeatedRegionsStayConsistent) {
+  Machine& m = Machine::instance();
+  m.configure(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    m.spmd([&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 200 * 4);
+}
+
+TEST_F(MachineTest, BusyTimeAccumulatesAndResets) {
+  Machine& m = Machine::instance();
+  m.configure(2);
+  m.reset_busy();
+  EXPECT_EQ(m.busy_seconds(), 0.0);
+  m.spmd([&](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  // Each VP slept ~5ms; mean per-VP busy ~5ms.
+  EXPECT_GT(m.busy_seconds(), 0.002);
+  EXPECT_LT(m.busy_seconds(), 0.2);
+  m.reset_busy();
+  EXPECT_EQ(m.busy_seconds(), 0.0);
+}
+
+TEST_F(MachineTest, BusyTimeIsMeanOverVpsNotSum) {
+  Machine& m = Machine::instance();
+  m.configure(4);
+  m.reset_busy();
+  // Only VP 0 works: mean busy should be ~work/4.
+  m.spmd([&](int vp) {
+    if (vp == 0) std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  });
+  EXPECT_GT(m.busy_seconds(), 0.001);
+  EXPECT_LT(m.busy_seconds(), 0.006);  // well under the 8ms single-VP time
+}
+
+TEST_F(MachineTest, ForEachBlockCoversIndexSpace) {
+  Machine::instance().configure(3);
+  const index_t n = 101;
+  std::vector<std::atomic<int>> touched(static_cast<std::size_t>(n));
+  for_each_block(n, [&](int, Block b) {
+    for (index_t i = b.begin; i < b.end; ++i) {
+      touched[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST_F(MachineTest, ForEachBlockSkipsEmptyBlocks) {
+  Machine::instance().configure(8);
+  std::atomic<int> calls{0};
+  for_each_block(3, [&](int, Block b) {
+    EXPECT_GT(b.size(), 0);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);  // only 3 VPs own elements
+}
+
+TEST_F(MachineTest, ParallelRangeComputesCorrectly) {
+  Machine::instance().configure(5);
+  auto v = make_vector<double>(1000);
+  parallel_range(v.size(), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) v[i] = static_cast<double>(i) * 2.0;
+  });
+  for (index_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], 2.0 * i);
+}
+
+TEST_F(MachineTest, PeakCalibrationIsPositiveAndCached) {
+  Machine& m = Machine::instance();
+  m.configure(2);
+  const double p1 = m.peak_mflops();
+  EXPECT_GT(p1, 10.0);  // any machine manages 10 MFLOPS
+  const double p2 = m.peak_mflops();
+  EXPECT_EQ(p1, p2);  // cached
+}
+
+TEST_F(MachineTest, NestedSpmdExecutesInline) {
+  Machine& m = Machine::instance();
+  m.configure(2);
+  std::atomic<int> inner{0};
+  m.spmd([&](int vp) {
+    if (vp == 0) {
+      // A nested region runs every VP's body inline on this thread.
+      m.spmd([&](int) { inner.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(inner.load(), 2);
+}
+
+TEST_F(MachineTest, DefaultVpsRespectsEnvironmentBounds) {
+  // Cannot portably set env here, but the default must be sane.
+  const int d = Machine::default_vps();
+  EXPECT_GE(d, 1);
+  EXPECT_LE(d, 4096);
+}
+
+}  // namespace
+}  // namespace dpf

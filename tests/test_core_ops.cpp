@@ -1,0 +1,85 @@
+// Tests for the data-parallel operation layer: assign/update/copy,
+// the counted BLAS-1 style helpers, and their FLOP accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/ops.hpp"
+
+namespace dpf {
+namespace {
+
+class OpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { flops::reset(); }
+};
+
+TEST_F(OpsTest, AssignComputesAndCounts) {
+  auto v = make_vector<double>(100);
+  assign(v, 3, [](index_t i) { return 2.0 * i + 1.0; });
+  for (index_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], 2.0 * i + 1.0);
+  EXPECT_EQ(flops::total(), 300);
+}
+
+TEST_F(OpsTest, UpdateReadsOldValue) {
+  auto v = make_vector<double>(10);
+  fill_par(v, 4.0);
+  update(v, 1, [](index_t, double x) { return x * 0.5; });
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(v[i], 2.0);
+  EXPECT_EQ(flops::total(), 10);
+}
+
+TEST_F(OpsTest, CopyIsExactAndFree) {
+  auto a = make_vector<double>(50);
+  auto b = make_vector<double>(50);
+  assign(a, 0, [](index_t i) { return std::sqrt(static_cast<double>(i)); });
+  flops::reset();
+  copy(a, b);
+  EXPECT_EQ(flops::total(), 0);  // a local memory move
+  for (index_t i = 0; i < 50; ++i) EXPECT_EQ(b[i], a[i]);
+}
+
+TEST_F(OpsTest, AxpyScaleAddMul) {
+  auto x = make_vector<double>(20);
+  auto y = make_vector<double>(20);
+  fill_par(x, 3.0);
+  fill_par(y, 1.0);
+  flops::reset();
+  axpy(2.0, x, y);  // y = 1 + 2*3 = 7
+  EXPECT_EQ(flops::total(), 40);
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(y[i], 7.0);
+
+  scale(y, 0.5);
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(y[i], 3.5);
+  EXPECT_EQ(flops::total(), 60);
+
+  auto z = make_vector<double>(20);
+  add_arrays(x, y, z);  // 6.5
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(z[i], 6.5);
+  mul_arrays(x, y, z);  // 10.5
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(z[i], 10.5);
+  EXPECT_EQ(flops::total(), 100);
+}
+
+TEST_F(OpsTest, ComplexAxpy) {
+  Array1<complexd> x{Shape<1>(8)};
+  Array1<complexd> y{Shape<1>(8)};
+  fill_par(x, complexd(1.0, 1.0));
+  fill_par(y, complexd(0.0, -1.0));
+  axpy(complexd(0.0, 2.0), x, y);  // y = -i + 2i(1+i) = -2 + i
+  for (index_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - complexd(-2.0, 1.0)), 0.0, 1e-14);
+  }
+}
+
+TEST_F(OpsTest, ParallelRangeHandlesZeroAndOne) {
+  int calls = 0;
+  parallel_range(0, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  auto v = make_vector<double>(1);
+  assign(v, 0, [](index_t) { return 9.0; });
+  EXPECT_EQ(v[0], 9.0);
+}
+
+}  // namespace
+}  // namespace dpf

@@ -1,0 +1,125 @@
+// Tests for the precision rows of Table 4 (complex matvec) and the
+// C/DPEAC fused QCD kernel.
+
+#include <gtest/gtest.h>
+
+#include "comm/reduce.hpp"
+#include "core/flops.hpp"
+#include "core/machine.hpp"
+#include "core/registry.hpp"
+#include "la/matvec.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+class ExtendedVersions : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_all_benchmarks();
+    CommLog::instance().reset();
+    flops::reset();
+  }
+};
+
+TEST_F(ExtendedVersions, ComplexMatvecAgainstReference) {
+  const index_t n = 9, m = 6;
+  Array2<complexd> a{Shape<2>(n, m)};
+  Array1<complexd> x{Shape<1>(m)};
+  Array1<complexd> y{Shape<1>(n)};
+  for (index_t i = 0; i < a.size(); ++i) {
+    a[i] = complexd(std::sin(0.3 * i), std::cos(0.5 * i));
+  }
+  for (index_t j = 0; j < m; ++j) x[j] = complexd(1.0 + j, -0.5 * j);
+  flops::Scope fs;
+  la::matvec1_complex(y, a, x);
+  // The paper's c/z row: 8nm FLOPs.
+  EXPECT_EQ(fs.count(), 8 * n * m);
+  for (index_t i = 0; i < n; ++i) {
+    complexd ref{};
+    for (index_t j = 0; j < m; ++j) ref += a(i, j) * x[j];
+    EXPECT_NEAR(std::abs(y[i] - ref), 0.0, 1e-12);
+  }
+}
+
+TEST_F(ExtendedVersions, MatvecBenchmarkComplexDtypeRow) {
+  const auto* def = Registry::instance().find("matrix-vector");
+  ASSERT_NE(def, nullptr);
+  RunConfig cfg;
+  cfg.params["dtype"] = 1;
+  cfg.params["n"] = 32;
+  cfg.params["m"] = 32;
+  cfg.params["iters"] = 2;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_LT(r.checks.at("residual"), 1e-10);
+  const auto model = def->model_with_defaults(cfg);
+  // 8nm per iteration, 16(n + nm + m) bytes — the z row.
+  EXPECT_EQ(model.flops_per_iter, 8.0 * 32 * 32);
+  EXPECT_EQ(model.memory_bytes, 16 * (32 + 32 * 32 + 32));
+  const double per_iter = static_cast<double>(r.metrics.flop_count) / 2.0;
+  EXPECT_NEAR(per_iter, model.flops_per_iter, model.flops_per_iter * 0.02);
+  EXPECT_EQ(r.metrics.memory_bytes, model.memory_bytes);
+}
+
+TEST_F(ExtendedVersions, QrBenchmarkComplexDtypeRow) {
+  const auto* def = Registry::instance().find("qr");
+  ASSERT_NE(def, nullptr);
+  RunConfig cfg;
+  cfg.params["dtype"] = 1;
+  cfg.params["m"] = 48;
+  cfg.params["n"] = 24;
+  cfg.params["r"] = 2;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_LT(r.checks.at("residual"), 1e-8);
+  ASSERT_TRUE(r.segments.contains("factor"));
+  // Complex factor ~4x the real arithmetic for the same shape.
+  RunConfig real_cfg = cfg;
+  real_cfg.params["dtype"] = 0;
+  const auto rr = def->run_with_defaults(real_cfg);
+  const double ratio = static_cast<double>(r.segments.at("factor").flop_count) /
+                       static_cast<double>(rr.segments.at("factor").flop_count);
+  EXPECT_NEAR(ratio, 4.0, 1.0);
+}
+
+TEST_F(ExtendedVersions, MachineSurvivesReconfigureStress) {
+  // Hammer pool teardown/startup with interleaved SPMD work: catches
+  // latent dispatch races.
+  auto& m = Machine::instance();
+  for (int round = 0; round < 30; ++round) {
+    m.configure(1 + round % 5);
+    std::atomic<int> count{0};
+    m.spmd([&](int) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 1 + round % 5);
+    auto v = make_vector<double>(257);
+    fill_par(v, 1.0);
+    EXPECT_DOUBLE_EQ(comm::reduce_sum(v), 257.0);
+  }
+  m.configure(Machine::default_vps());
+}
+
+TEST_F(ExtendedVersions, QcdFusedDslashMatchesBasic) {
+  const auto* def = Registry::instance().find("qcd-kernel");
+  ASSERT_NE(def, nullptr);
+  RunConfig basic;
+  basic.params["n"] = 4;
+  basic.params["nt"] = 4;
+  basic.params["iters"] = 4;
+  RunConfig fused = basic;
+  fused.version = Version::CDpeac;
+  const auto rb = def->run_with_defaults(basic);
+  const auto rf = def->run_with_defaults(fused);
+  // Identical CG trajectory: residual histories agree.
+  EXPECT_NEAR(rb.checks.at("residual_reduction"),
+              rf.checks.at("residual_reduction"),
+              1e-9 * std::abs(rb.checks.at("residual_reduction")) + 1e-12);
+  EXPECT_LT(rf.checks.at("antihermiticity"), 1e-10);
+  // Same counted arithmetic, same logical CSHIFT inventory.
+  EXPECT_EQ(rb.metrics.flop_count, rf.metrics.flop_count);
+  index_t cb = 0, cf = 0;
+  for (const auto& e : rb.metrics.comm_events) cb += (e.pattern == CommPattern::CShift);
+  for (const auto& e : rf.metrics.comm_events) cf += (e.pattern == CommPattern::CShift);
+  EXPECT_EQ(cb, cf);
+}
+
+}  // namespace
+}  // namespace dpf

@@ -1,0 +1,180 @@
+// Failure-injection and edge-condition tests: the library must degrade
+// loudly and correctly — singular systems flagged, non-convergence
+// reported, capacity pressure handled without losing state, degenerate
+// extents handled exactly.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "la/la.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+TEST(FailureModes, GaussJordanReportsSingularMatrix) {
+  const index_t n = 6;
+  auto a = make_matrix<double>(n, n);
+  // Rank-1 matrix: a_ij = (i+1)(j+1).
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = static_cast<double>((i + 1) * (j + 1));
+    }
+  }
+  auto b = make_vector<double>(n);
+  auto x = make_vector<double>(n);
+  fill_par(b, 1.0);
+  EXPECT_FALSE(la::gauss_jordan_solve(a, x, b));
+}
+
+TEST(FailureModes, LuFlagsSingularAndSolveStaysFinite) {
+  auto a = make_matrix<double>(5, 5);
+  a(0, 0) = 1.0;  // rank 1
+  auto f = la::lu_factor(a);
+  EXPECT_TRUE(f.singular);
+}
+
+TEST(FailureModes, QrFlagsRankDeficiency) {
+  auto a = make_matrix<double>(8, 3);
+  for (index_t i = 0; i < 8; ++i) a(i, 0) = 1.0;  // columns 1, 2 are zero
+  auto f = la::qr_factor(a);
+  EXPECT_TRUE(f.rank_deficient);
+}
+
+TEST(FailureModes, ConjGradReportsNonConvergence) {
+  const index_t n = 128;
+  la::Tridiag sys(n);
+  for (index_t i = 0; i < n; ++i) {
+    sys.b[i] = 2.0;
+    sys.a[i] = i > 0 ? -1.0 : 0.0;       // nearly singular Laplacian
+    sys.c[i] = i + 1 < n ? -1.0 : 0.0;
+  }
+  auto rhs = make_vector<double>(n);
+  fill_par(rhs, 1.0);
+  auto x = make_vector<double>(n);
+  const auto r = la::conj_grad_solve(sys, x, rhs, 3, 1e-14);  // too few iters
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+  EXPECT_TRUE(std::isfinite(r.residual_norm2));
+}
+
+TEST(FailureModes, PcrHandlesSizeOneSystem) {
+  la::Tridiag sys(1);
+  sys.b[0] = 4.0;
+  Array2<double> rhs{Shape<2>(1, 1)};
+  rhs(0, 0) = 8.0;
+  la::pcr_solve(sys, rhs);
+  EXPECT_DOUBLE_EQ(rhs(0, 0), 2.0);
+}
+
+TEST(FailureModes, CrPcrHandlesTinySystems) {
+  for (index_t n : {1, 2, 3, 5}) {
+    la::Tridiag sys(n);
+    for (index_t i = 0; i < n; ++i) {
+      sys.b[i] = 3.0;
+      sys.a[i] = i > 0 ? -1.0 : 0.0;
+      sys.c[i] = i + 1 < n ? -1.0 : 0.0;
+    }
+    auto rhs = make_vector<double>(n);
+    for (index_t i = 0; i < n; ++i) rhs[i] = static_cast<double>(i + 1);
+    auto ref = rhs;
+    la::cr_pcr_solve(sys, rhs);
+    for (index_t i = 0; i < n; ++i) {
+      double acc = sys.b[i] * rhs[i];
+      if (i > 0) acc += sys.a[i] * rhs[i - 1];
+      if (i + 1 < n) acc += sys.c[i] * rhs[i + 1];
+      EXPECT_NEAR(acc, ref[i], 1e-10) << "n=" << n << " row " << i;
+    }
+  }
+}
+
+TEST(FailureModes, MdcellFullCellsDoNotLoseParticles) {
+  register_all_benchmarks();
+  const auto* def = Registry::instance().find("mdcell");
+  ASSERT_NE(def, nullptr);
+  RunConfig cfg;
+  cfg.params["np"] = 1;   // capacity 1: every migration risks a full target
+  cfg.params["nc"] = 4;
+  cfg.params["iters"] = 6;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(r.checks.at("residual"), 0.0) << "particles lost under pressure";
+  EXPECT_EQ(r.checks.at("particles"), 1.0 * 4 * 4 * 4);
+}
+
+TEST(FailureModes, QmcPopulationStaysBounded) {
+  register_all_benchmarks();
+  const auto* def = Registry::instance().find("qmc");
+  RunConfig cfg;
+  cfg.params["nw"] = 64;
+  cfg.params["iters"] = 40;  // long run: feedback must hold the population
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_GT(r.checks.at("population"), 8.0);
+  EXPECT_LE(r.checks.at("population"), 2.0 * 64.0);
+}
+
+TEST(FailureModes, ZeroSizedArraysAreHarmless) {
+  auto v = make_vector<double>(0);
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_EQ(v.bytes(), 0);
+  auto shifted = comm::cshift(v, 0, 3);
+  EXPECT_EQ(shifted.size(), 0);
+  auto scanned = comm::scan_sum(v);
+  EXPECT_EQ(scanned.size(), 0);
+  fill_par(v, 1.0);  // no-op
+}
+
+TEST(FailureModes, SingleElementCollectives) {
+  auto v = make_vector<double>(1);
+  v[0] = 42.0;
+  EXPECT_EQ(comm::reduce_sum(v), 42.0);
+  EXPECT_EQ(comm::reduce_max(v), 42.0);
+  auto s = comm::cshift(v, 0, 5);
+  EXPECT_EQ(s[0], 42.0);
+  auto p = comm::sort_permutation(v);
+  EXPECT_EQ(p[0], 0);
+}
+
+TEST(FailureModes, FftSizeOneAndTwo) {
+  Array1<complexd> one{Shape<1>(1)};
+  one[0] = complexd(3.0, -1.0);
+  la::fft_1d(one, la::FftDirection::Forward);
+  EXPECT_EQ(one[0], complexd(3.0, -1.0));
+  Array1<complexd> two{Shape<1>(2)};
+  two[0] = complexd(1.0, 0.0);
+  two[1] = complexd(2.0, 0.0);
+  la::fft_1d(two, la::FftDirection::Forward);
+  EXPECT_NEAR(two[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(two[1].real(), -1.0, 1e-12);
+}
+
+TEST(FailureModes, MatvecDegenerateShapes) {
+  // 1 x m and n x 1 matrices.
+  auto a1 = make_matrix<double>(1, 5);
+  auto x1 = make_vector<double>(5);
+  auto y1 = make_vector<double>(1);
+  for (index_t j = 0; j < 5; ++j) {
+    a1(0, j) = 1.0;
+    x1[j] = static_cast<double>(j);
+  }
+  la::matvec1(y1, a1, x1);
+  EXPECT_DOUBLE_EQ(y1[0], 0 + 1 + 2 + 3 + 4);
+  auto a2 = make_matrix<double>(4, 1);
+  auto x2 = make_vector<double>(1);
+  auto y2 = make_vector<double>(4);
+  x2[0] = 3.0;
+  for (index_t i = 0; i < 4; ++i) a2(i, 0) = static_cast<double>(i);
+  la::matvec1_opt(y2, a2, x2);
+  for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y2[i], 3.0 * i);
+}
+
+TEST(FailureModes, JacobiHandlesAlreadyDiagonal) {
+  auto a = make_matrix<double>(4, 4);
+  for (index_t i = 0; i < 4; ++i) a(i, i) = static_cast<double>(i);
+  auto r = la::jacobi_eigenvalues(a, 1e-14, 5);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);  // off-norm already zero: no rounds needed
+}
+
+}  // namespace
+}  // namespace dpf

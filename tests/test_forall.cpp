@@ -1,0 +1,63 @@
+// Tests for the FORALL indexed-assignment helper.
+
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/ops.hpp"
+
+namespace dpf {
+namespace {
+
+TEST(Forall, Rank1IsIdentityIndexing) {
+  auto v = make_vector<double>(10);
+  forall(v, 1, [](index_t i) { return 3.0 * static_cast<double>(i); });
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(v[i], 3.0 * i);
+}
+
+TEST(Forall, Rank2ReceivesRowAndColumn) {
+  Array2<double> a(Shape<2>(4, 6), Layout<2>{}, MemKind::Temporary);
+  forall(a, 0, [](index_t i, index_t j) {
+    return static_cast<double>(10 * i + j);
+  });
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 6; ++j) EXPECT_EQ(a(i, j), 10.0 * i + j);
+  }
+}
+
+TEST(Forall, Rank3Indexing) {
+  Array3<double> a(Shape<3>(2, 3, 4), Layout<3>{}, MemKind::Temporary);
+  forall(a, 0, [](index_t i, index_t j, index_t k) {
+    return static_cast<double>(100 * i + 10 * j + k);
+  });
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      for (index_t k = 0; k < 4; ++k) {
+        EXPECT_EQ(a(i, j, k), 100.0 * i + 10.0 * j + k);
+      }
+    }
+  }
+}
+
+TEST(Forall, CountsDeclaredFlops) {
+  Array2<double> a(Shape<2>(5, 5), Layout<2>{}, MemKind::Temporary);
+  flops::reset();
+  forall(a, 7, [](index_t, index_t) { return 0.0; });
+  EXPECT_EQ(flops::total(), 7 * 25);
+}
+
+TEST(Forall, IdentityMatrixIdiom) {
+  Array2<double> eye(Shape<2>(8, 8), Layout<2>{}, MemKind::Temporary);
+  forall(eye, 0, [](index_t i, index_t j) { return i == j ? 1.0 : 0.0; });
+  double trace = 0, total = 0;
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 8; ++j) {
+      trace += (i == j) ? eye(i, j) : 0.0;
+      total += eye(i, j);
+    }
+  }
+  EXPECT_EQ(trace, 8.0);
+  EXPECT_EQ(total, 8.0);
+}
+
+}  // namespace
+}  // namespace dpf

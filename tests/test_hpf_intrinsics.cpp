@@ -1,0 +1,152 @@
+// Tests for the HPF intrinsic analogues: logical reductions (ANY, ALL,
+// COUNT), PRODUCT, masked SUM with whole-array FLOP semantics (the paper's
+// section 1.4 example), masked assignment, and the real-input FFT.
+
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "la/fft.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+class HpfIntrinsics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CommLog::instance().reset();
+    flops::reset();
+  }
+};
+
+TEST_F(HpfIntrinsics, AnyAllCount) {
+  Array1<std::uint8_t> m{Shape<1>(100)};
+  EXPECT_FALSE(comm::any(m));
+  EXPECT_FALSE(comm::all(m));
+  EXPECT_EQ(comm::count_true(m), 0);
+  m[57] = 1;
+  EXPECT_TRUE(comm::any(m));
+  EXPECT_FALSE(comm::all(m));
+  EXPECT_EQ(comm::count_true(m), 1);
+  fill_par(m, std::uint8_t{1});
+  EXPECT_TRUE(comm::any(m));
+  EXPECT_TRUE(comm::all(m));
+  EXPECT_EQ(comm::count_true(m), 100);
+  // Each intrinsic recorded a Reduction.
+  EXPECT_EQ(CommLog::instance().count(CommPattern::Reduction), 9);
+}
+
+TEST_F(HpfIntrinsics, ProductReduction) {
+  auto v = make_vector<double>(10);
+  fill_par(v, 2.0);
+  flops::reset();
+  EXPECT_DOUBLE_EQ(comm::reduce_product(v), 1024.0);
+  EXPECT_EQ(flops::total(), 9);
+}
+
+TEST_F(HpfIntrinsics, MaskedSumUsesWholeArraySemantics) {
+  // The paper's own example: vtv = sum(v*v, mask) is executed for all
+  // elements; the FLOP count covers the entire vector.
+  const index_t n = 64;
+  auto v = make_vector<double>(n);
+  Array1<std::uint8_t> mask{Shape<1>(n)};
+  for (index_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(i);
+    mask[i] = (i % 2 == 0) ? 1 : 0;
+  }
+  flops::reset();
+  const double s = comm::reduce_sum_masked(v, mask);
+  double expect = 0;
+  for (index_t i = 0; i < n; i += 2) expect += v[i];
+  EXPECT_DOUBLE_EQ(s, expect);
+  EXPECT_EQ(flops::total(), n - 1);  // full-array count, not n/2 - 1
+}
+
+TEST_F(HpfIntrinsics, MaskedAssignTouchesOnlyMaskedElements) {
+  const index_t n = 32;
+  auto v = make_vector<double>(n);
+  Array1<std::uint8_t> mask{Shape<1>(n)};
+  fill_par(v, 1.0);
+  for (index_t i = 0; i < n; ++i) mask[i] = (i < 10) ? 1 : 0;
+  flops::reset();
+  assign_where(v, mask, 2, [](index_t i) { return 5.0 + i; });
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(v[i], i < 10 ? 5.0 + i : 1.0);
+  }
+  // HPF semantics: FLOPs counted for the whole array extent.
+  EXPECT_EQ(flops::total(), 2 * n);
+}
+
+TEST_F(HpfIntrinsics, RealFftMatchesComplexTransform) {
+  const index_t n = 128;
+  Array1<double> x{Shape<1>(n)};
+  const Rng rng(6);
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(static_cast<std::uint64_t>(i), -1, 1);
+  }
+  // Reference: full complex FFT of the real signal.
+  Array1<complexd> ref{Shape<1>(n)};
+  assign(ref, 0, [&](index_t i) { return complexd(x[i], 0.0); });
+  la::fft_1d(ref, la::FftDirection::Forward);
+  // Real-input transform.
+  Array1<complexd> spec{Shape<1>(n / 2 + 1)};
+  la::rfft_forward(x, spec);
+  for (index_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(spec[k].real(), ref[k].real(), 1e-9) << k;
+    EXPECT_NEAR(spec[k].imag(), ref[k].imag(), 1e-9) << k;
+  }
+}
+
+TEST_F(HpfIntrinsics, RealFftRoundTrip) {
+  const index_t n = 256;
+  Array1<double> x{Shape<1>(n)};
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.1 * i) + 0.3 * std::cos(0.05 * i * i);
+  }
+  Array1<complexd> spec{Shape<1>(n / 2 + 1)};
+  Array1<double> back{Shape<1>(n)};
+  la::rfft_forward(x, spec);
+  la::rfft_inverse(spec, back);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST_F(HpfIntrinsics, RealFftCostsHalfTheComplexTransform) {
+  const index_t n = 1024;
+  Array1<double> x{Shape<1>(n)};
+  fill_par(x, 1.0);
+  Array1<complexd> spec{Shape<1>(n / 2 + 1)};
+  flops::Scope rf;
+  la::rfft_forward(x, spec);
+  const auto real_cost = rf.count();
+  Array1<complexd> z{Shape<1>(n)};
+  flops::Scope cf;
+  la::fft_1d(z, la::FftDirection::Forward);
+  const auto complex_cost = cf.count();
+  EXPECT_LT(static_cast<double>(real_cost),
+            0.75 * static_cast<double>(complex_cost));
+}
+
+TEST_F(HpfIntrinsics, MdSymmetricVersionMatchesBasic) {
+  register_all_benchmarks();
+  const auto* def = Registry::instance().find("md");
+  ASSERT_NE(def, nullptr);
+  RunConfig basic;
+  basic.params["np"] = 24;
+  basic.params["iters"] = 2;
+  RunConfig opt = basic;
+  opt.version = Version::Optimized;
+  const auto rb = def->run_with_defaults(basic);
+  const auto ro = def->run_with_defaults(opt);
+  EXPECT_LT(rb.checks.at("residual"), 1e-9);
+  EXPECT_LT(ro.checks.at("residual"), 1e-9);
+  EXPECT_NEAR(ro.checks.at("fmax"), rb.checks.at("fmax"),
+              1e-9 * rb.checks.at("fmax"));
+  // Roughly half the kernel FLOPs.
+  EXPECT_LT(static_cast<double>(ro.metrics.flop_count),
+            0.75 * static_cast<double>(rb.metrics.flop_count));
+}
+
+}  // namespace
+}  // namespace dpf

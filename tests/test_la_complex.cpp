@@ -1,0 +1,153 @@
+// Tests for the complex-precision (c/z) rows of Table 4: complex QR and
+// complex PCR, plus the 4x FLOP-weight convention.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "la/la.hpp"
+
+namespace dpf {
+namespace {
+
+class LaComplex : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CommLog::instance().reset();
+    flops::reset();
+  }
+};
+
+Array2<complexd> random_zmatrix(index_t m, index_t n, std::uint64_t seed) {
+  Array2<complexd> a{Shape<2>(m, n)};
+  const Rng rng(seed);
+  for (index_t i = 0; i < a.size(); ++i) {
+    a[i] = complexd(rng.uniform(static_cast<std::uint64_t>(i), -1, 1),
+                    rng.uniform(static_cast<std::uint64_t>(i) + a.size(),
+                                -1, 1));
+  }
+  return a;
+}
+
+TEST_F(LaComplex, QrSolvesConsistentComplexSystem) {
+  const index_t m = 16, n = 7, r = 2;
+  auto a = random_zmatrix(m, n, 21);
+  Array2<complexd> xt{Shape<2>(n, r)};
+  for (index_t i = 0; i < xt.size(); ++i) {
+    xt[i] = complexd(std::sin(0.4 * (i + 1)), std::cos(0.2 * i));
+  }
+  Array2<complexd> b{Shape<2>(m, r)};
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t c = 0; c < r; ++c) {
+      complexd acc{};
+      for (index_t j = 0; j < n; ++j) acc += a(i, j) * xt(j, c);
+      b(i, c) = acc;
+    }
+  }
+  auto f = la::qr_factor_z(a);
+  EXPECT_FALSE(f.rank_deficient);
+  la::qr_solve_z(f, b);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t c = 0; c < r; ++c) {
+      EXPECT_NEAR(std::abs(b(j, c) - xt(j, c)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(LaComplex, QrRDiagonalMagnitudeIsColumnNorm) {
+  // First column norm is preserved in |R_00| for any matrix.
+  const index_t m = 12, n = 4;
+  auto a = random_zmatrix(m, n, 22);
+  double nrm0 = 0;
+  for (index_t i = 0; i < m; ++i) nrm0 += std::norm(a(i, 0));
+  auto f = la::qr_factor_z(a);
+  EXPECT_NEAR(std::abs(f.qr(0, 0)), std::sqrt(nrm0), 1e-10);
+}
+
+TEST_F(LaComplex, QrUpperTriangleIsActuallyUpper) {
+  const index_t m = 10, n = 5;
+  auto a = random_zmatrix(m, n, 23);
+  auto f = la::qr_factor_z(a);
+  // Rebuild R from the factor object: entries on/above the diagonal. The
+  // strictly-lower entries hold reflector tails, not zeros — but the
+  // solve must treat R as triangular, which the consistent-system test
+  // already proves. Here we instead verify norm preservation:
+  // ||R||_F == ||A||_F (unitary invariance).
+  double fa = 0, fr = 0;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) fa += std::norm(a(i, j));
+  }
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i; j < n; ++j) fr += std::norm(f.qr(i, j));
+  }
+  EXPECT_NEAR(fr, fa, 1e-8 * fa);
+}
+
+la::TridiagT<complexd> make_ztridiag(index_t n, std::uint64_t seed) {
+  la::TridiagT<complexd> sys(n);
+  const Rng rng(seed);
+  for (index_t i = 0; i < n; ++i) {
+    sys.b[i] = complexd(3.0 + rng.uniform(static_cast<std::uint64_t>(i)),
+                        0.4);
+    sys.a[i] = (i > 0) ? complexd(-0.5, 0.1) : complexd{};
+    sys.c[i] = (i + 1 < n) ? complexd(-0.4, -0.2) : complexd{};
+  }
+  return sys;
+}
+
+TEST_F(LaComplex, PcrSolvesComplexTridiagonal) {
+  const index_t n = 64, r = 2;
+  auto sys = make_ztridiag(n, 24);
+  Array2<complexd> rhs{Shape<2>(r, n)};
+  const Rng rng(25);
+  for (index_t i = 0; i < rhs.size(); ++i) {
+    rhs[i] = complexd(rng.uniform(static_cast<std::uint64_t>(i), -1, 1),
+                      rng.uniform(static_cast<std::uint64_t>(i) + 4096, -1, 1));
+  }
+  auto rhs_ref = rhs;
+  la::pcr_solve(sys, rhs);
+  for (index_t q = 0; q < r; ++q) {
+    for (index_t i = 0; i < n; ++i) {
+      complexd acc = sys.b[i] * rhs(q, i);
+      if (i > 0) acc += sys.a[i] * rhs(q, i - 1);
+      if (i + 1 < n) acc += sys.c[i] * rhs(q, i + 1);
+      EXPECT_NEAR(std::abs(acc - rhs_ref(q, i)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(LaComplex, ComplexPcrCountsFourTimesTheRealFlops) {
+  const index_t n = 32, r = 1;
+  // Real run.
+  la::Tridiag rsys(n);
+  for (index_t i = 0; i < n; ++i) {
+    rsys.b[i] = 3.0;
+    rsys.a[i] = i > 0 ? -0.5 : 0.0;
+    rsys.c[i] = i + 1 < n ? -0.5 : 0.0;
+  }
+  Array2<double> rrhs{Shape<2>(r, n)};
+  fill_par(rrhs, 1.0);
+  flops::Scope fr;
+  la::pcr_solve(rsys, rrhs);
+  const auto real_flops = fr.count();
+  // Complex run, same shape.
+  auto zsys = make_ztridiag(n, 26);
+  Array2<complexd> zrhs{Shape<2>(r, n)};
+  fill_par(zrhs, complexd(1.0, 0.0));
+  flops::Scope fz;
+  la::pcr_solve(zsys, zrhs);
+  const auto complex_flops = fz.count();
+  EXPECT_EQ(complex_flops, 4 * real_flops);
+}
+
+TEST_F(LaComplex, ComplexPcrKeepsCshiftInventory) {
+  const index_t n = 32, r = 2;
+  auto sys = make_ztridiag(n, 27);
+  Array2<complexd> rhs{Shape<2>(r, n)};
+  fill_par(rhs, complexd(1.0, 0.0));
+  CommScope scope;
+  la::pcr_solve(sys, rhs);
+  EXPECT_EQ(scope.count(CommPattern::CShift), (2 * r + 4) * 5);
+}
+
+}  // namespace
+}  // namespace dpf

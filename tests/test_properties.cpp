@@ -1,0 +1,261 @@
+// Property-based tests.
+//
+// 1. VP-count invariance: the DPF model promises that results do not
+//    depend on the machine's processor count — the whole point of a
+//    deterministic data-parallel language. Every benchmark is run under
+//    1 and 3 virtual processors and its validation checks must agree.
+// 2. Size sweeps of the communication primitives over awkward extents
+//    (1, 2, 3, prime, large) — the shifts/scans/sorts must be exact for
+//    every extent, not just the friendly ones.
+
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "core/machine.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "la/fft.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. VP invariance across the suite.
+
+class VpInvariance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { register_all_benchmarks(); }
+  void TearDown() override {
+    Machine::instance().configure(Machine::default_vps());
+  }
+};
+
+TEST_P(VpInvariance, ChecksAgreeAcrossVpCounts) {
+  const auto* def = Registry::instance().find(GetParam());
+  ASSERT_NE(def, nullptr);
+  // Monte-Carlo population dynamics accumulate rounding differences from
+  // reduction grouping; everything else must agree to near roundoff.
+  const bool stochastic = GetParam() == "qmc";
+  const double tol = stochastic ? 5e-2 : 1e-6;
+
+  std::map<std::string, double> base;
+  for (int p : {1, 3}) {
+    Machine::instance().configure(p);
+    const auto r = def->run_with_defaults(RunConfig{});
+    if (p == 1) {
+      base = r.checks;
+      continue;
+    }
+    for (const auto& [key, value] : base) {
+      ASSERT_TRUE(r.checks.contains(key)) << key;
+      const double other = r.checks.at(key);
+      const double scale = std::max({std::abs(value), std::abs(other), 1.0});
+      EXPECT_LE(std::abs(value - other) / scale, tol)
+          << key << ": p1=" << value << " p3=" << other;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, VpInvariance,
+    ::testing::Values("reduction", "gather", "scatter", "transpose",
+                      "matrix-vector", "lu", "qr", "gauss-jordan", "pcr",
+                      "conj-grad", "jacobi", "fft", "boson", "diff-1D",
+                      "diff-2D", "diff-3D", "ellip-2D", "fem-3D", "fermion",
+                      "gmo", "ks-spectral", "md", "mdcell", "n-body",
+                      "pic-simple", "pic-gather-scatter", "qcd-kernel", "qmc",
+                      "qptransport", "rp", "step4", "wave-1D"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// 2. Communication primitives over awkward extents.
+
+class CommSizeSweep : public ::testing::TestWithParam<index_t> {
+ protected:
+  void SetUp() override { CommLog::instance().reset(); }
+};
+
+TEST_P(CommSizeSweep, CShiftAllShiftsExact) {
+  const index_t n = GetParam();
+  auto v = make_vector<double>(n);
+  for (index_t i = 0; i < n; ++i) v[i] = static_cast<double>(i * i + 1);
+  for (index_t s : {index_t{0}, index_t{1}, n / 2, n - 1, index_t{-1}, -n, 3 * n + 1}) {
+    auto r = comm::cshift(v, 0, s);
+    for (index_t i = 0; i < n; ++i) {
+      const index_t src = ((i + s) % n + n) % n;
+      EXPECT_EQ(r[i], v[src]) << "n=" << n << " s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST_P(CommSizeSweep, EoshiftDropsAndFills) {
+  const index_t n = GetParam();
+  auto v = make_vector<double>(n);
+  for (index_t i = 0; i < n; ++i) v[i] = static_cast<double>(i + 1);
+  for (index_t s : {index_t{1}, index_t{-1}, n, -n}) {
+    auto r = comm::eoshift(v, 0, s, -5.0);
+    for (index_t i = 0; i < n; ++i) {
+      const index_t src = i + s;
+      const double expect =
+          (src >= 0 && src < n) ? v[src] : -5.0;
+      EXPECT_EQ(r[i], expect) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST_P(CommSizeSweep, ScanSumMatchesSerialPrefix) {
+  const index_t n = GetParam();
+  auto v = make_vector<double>(n);
+  const Rng rng(n);
+  for (index_t i = 0; i < n; ++i) {
+    v[i] = std::floor(4.0 * rng.uniform(static_cast<std::uint64_t>(i)));
+  }
+  auto inc = comm::scan_sum(v);
+  double acc = 0;
+  for (index_t i = 0; i < n; ++i) {
+    acc += v[i];
+    EXPECT_DOUBLE_EQ(inc[i], acc) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(CommSizeSweep, SortPermutationSortsEveryExtent) {
+  const index_t n = GetParam();
+  auto keys = make_vector<double>(n);
+  const Rng rng(n * 7 + 1);
+  for (index_t i = 0; i < n; ++i) {
+    keys[i] = rng.uniform(static_cast<std::uint64_t>(i));
+  }
+  auto perm = comm::sort_permutation(keys);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_GE(perm[i], 0);
+    ASSERT_LT(perm[i], n);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(perm[i])]);  // a permutation
+    seen[static_cast<std::size_t>(perm[i])] = true;
+    if (i > 0) {
+      EXPECT_LE(keys[perm[i - 1]], keys[perm[i]]);
+    }
+  }
+}
+
+TEST_P(CommSizeSweep, ReduceSumMatchesSerial) {
+  const index_t n = GetParam();
+  auto v = make_vector<double>(n);
+  for (index_t i = 0; i < n; ++i) v[i] = static_cast<double>((i % 5) - 2);
+  double expect = 0;
+  for (index_t i = 0; i < n; ++i) expect += v[i];
+  EXPECT_DOUBLE_EQ(comm::reduce_sum(v), expect);
+}
+
+TEST_P(CommSizeSweep, GatherWithIdentityMapCopies) {
+  const index_t n = GetParam();
+  auto src = make_vector<double>(n);
+  auto dst = make_vector<double>(n);
+  Array1<index_t> map{Shape<1>(n)};
+  for (index_t i = 0; i < n; ++i) {
+    src[i] = std::cos(static_cast<double>(i));
+    map[i] = n - 1 - i;  // reversal
+  }
+  comm::gather_into(dst, src, map);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(dst[i], src[n - 1 - i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, CommSizeSweep,
+                         ::testing::Values<index_t>(1, 2, 3, 7, 64, 97, 1024));
+
+// ---------------------------------------------------------------------------
+// FFT over all power-of-two sizes: Parseval and a known analytic transform.
+
+class FftSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FftSweep, ParsevalAndDeltaTransform) {
+  const index_t n = GetParam();
+  // Delta function -> flat spectrum.
+  Array1<complexd> x{Shape<1>(n)};
+  x[0] = complexd(1.0, 0.0);
+  la::fft_1d(x, la::FftDirection::Forward);
+  for (index_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), 1.0, 1e-10);
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-10);
+  }
+  // Parseval: sum |x|^2 = (1/n) sum |X|^2 for a random signal.
+  Array1<complexd> y{Shape<1>(n)};
+  const Rng rng(n);
+  double t2 = 0;
+  for (index_t i = 0; i < n; ++i) {
+    y[i] = complexd(rng.uniform(static_cast<std::uint64_t>(i), -1, 1),
+                    rng.uniform(static_cast<std::uint64_t>(i) + n, -1, 1));
+    t2 += std::norm(y[i]);
+  }
+  la::fft_1d(y, la::FftDirection::Forward);
+  double f2 = 0;
+  for (index_t k = 0; k < n; ++k) f2 += std::norm(y[k]);
+  EXPECT_NEAR(f2 / static_cast<double>(n), t2, 1e-8 * t2 + 1e-12);
+}
+
+TEST_P(FftSweep, SingleModeLandsOnItsBin) {
+  const index_t n = GetParam();
+  if (n < 4) GTEST_SKIP();
+  Array1<complexd> x{Shape<1>(n)};
+  const index_t mode = n / 4;
+  for (index_t i = 0; i < n; ++i) {
+    const double ang =
+        2.0 * M_PI * static_cast<double>(mode * i) / static_cast<double>(n);
+    x[i] = complexd(std::cos(ang), std::sin(ang));
+  }
+  la::fft_1d(x, la::FftDirection::Forward);
+  for (index_t k = 0; k < n; ++k) {
+    const double expect = (k == mode) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expect, 1e-8 * n) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FftSweep,
+                         ::testing::Values<index_t>(2, 4, 8, 16, 64, 256,
+                                                    1024));
+
+// ---------------------------------------------------------------------------
+// 2-D / 3-D FFT round trips.
+
+TEST(FftMultiDim, Fft2dRoundTrip) {
+  const index_t n = 32;
+  Array2<complexd> x{Shape<2>(n, n)};
+  const Rng rng(3);
+  for (index_t i = 0; i < x.size(); ++i) {
+    x[i] = complexd(rng.uniform(static_cast<std::uint64_t>(i), -1, 1), 0.0);
+  }
+  auto orig = x;
+  la::fft_2d(x, la::FftDirection::Forward);
+  la::fft_2d(x, la::FftDirection::Inverse);
+  for (index_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftMultiDim, Fft3dRoundTripAndDelta) {
+  const index_t n = 8;
+  Array3<complexd> x{Shape<3>(n, n, n)};
+  x(1, 2, 3) = complexd(1.0, 0.0);
+  auto orig = x;
+  la::fft_3d(x, la::FftDirection::Forward);
+  // All bins have magnitude 1 for a (shifted) delta.
+  for (index_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 1.0, 1e-9);
+  }
+  la::fft_3d(x, la::FftDirection::Inverse);
+  for (index_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dpf

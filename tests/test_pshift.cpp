@@ -1,0 +1,92 @@
+// Tests for the PSHIFT bundled-shift primitive: equivalence with the
+// individual CSHIFTs, the face-neighbour convenience bundle, and the
+// instrumentation marking.
+
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "core/rng.hpp"
+
+namespace dpf {
+namespace {
+
+TEST(Pshift, MatchesIndividualCshifts) {
+  auto a = make_matrix<double>(7, 9);
+  const Rng rng(1);
+  for (index_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform(static_cast<std::uint64_t>(i));
+  }
+  const std::vector<comm::ShiftSpec> specs = {
+      {0, +1}, {0, -1}, {1, +2}, {1, -3}, {0, 0}};
+  const auto bundle = comm::pshift(a, std::span<const comm::ShiftSpec>(specs));
+  ASSERT_EQ(bundle.size(), specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    auto ref = comm::cshift(a, specs[s].axis, specs[s].offset);
+    for (index_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(bundle[s][i], ref[i]) << "spec " << s << " elem " << i;
+    }
+  }
+}
+
+TEST(Pshift, FaceBundleOn3dGrid) {
+  Array3<double> g{Shape<3>(4, 5, 6)};
+  for (index_t i = 0; i < g.size(); ++i) g[i] = static_cast<double>(i);
+  const auto faces = comm::pshift_faces(g);
+  ASSERT_EQ(faces.size(), 6u);
+  // faces[0] = +1 along axis 0, faces[1] = -1 along axis 0, ...
+  for (index_t x = 0; x < 4; ++x) {
+    for (index_t y = 0; y < 5; ++y) {
+      for (index_t z = 0; z < 6; ++z) {
+        EXPECT_EQ(faces[0](x, y, z), g((x + 1) % 4, y, z));
+        EXPECT_EQ(faces[1](x, y, z), g((x + 3) % 4, y, z));
+        EXPECT_EQ(faces[2](x, y, z), g(x, (y + 1) % 5, z));
+        EXPECT_EQ(faces[3](x, y, z), g(x, (y + 4) % 5, z));
+        EXPECT_EQ(faces[4](x, y, z), g(x, y, (z + 1) % 6));
+        EXPECT_EQ(faces[5](x, y, z), g(x, y, (z + 5) % 6));
+      }
+    }
+  }
+}
+
+TEST(Pshift, RecordsBundledCshiftEvents) {
+  CommLog::instance().reset();
+  auto v = make_vector<double>(32);
+  const std::vector<comm::ShiftSpec> specs = {{0, +1}, {0, -1}, {0, +4}};
+  const auto bundle = comm::pshift(v, std::span<const comm::ShiftSpec>(specs));
+  (void)bundle;
+  const auto events = CommLog::instance().events();
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.pattern, CommPattern::CShift);
+    EXPECT_EQ(e.detail, 1);  // bundled flag
+    EXPECT_EQ(e.bytes, 32 * 8);
+  }
+}
+
+TEST(Pshift, StencilBuiltFromBundleMatchesCshiftStencil) {
+  const index_t n = 16;
+  auto u = make_matrix<double>(n, n);
+  const Rng rng(9);
+  for (index_t i = 0; i < u.size(); ++i) {
+    u[i] = rng.uniform(static_cast<std::uint64_t>(i), -1, 1);
+  }
+  // Laplacian via pshift bundle.
+  const auto f = comm::pshift_faces(u);
+  Array2<double> lap_p(u.shape(), u.layout(), MemKind::Temporary);
+  assign(lap_p, 5, [&](index_t k) {
+    return f[0][k] + f[1][k] + f[2][k] + f[3][k] - 4.0 * u[k];
+  });
+  // Laplacian via individual cshifts.
+  auto s = comm::cshift(u, 0, +1);
+  auto nn = comm::cshift(u, 0, -1);
+  auto e = comm::cshift(u, 1, +1);
+  auto w = comm::cshift(u, 1, -1);
+  Array2<double> lap_c(u.shape(), u.layout(), MemKind::Temporary);
+  assign(lap_c, 5, [&](index_t k) {
+    return s[k] + nn[k] + e[k] + w[k] - 4.0 * u[k];
+  });
+  for (index_t k = 0; k < u.size(); ++k) EXPECT_EQ(lap_p[k], lap_c[k]);
+}
+
+}  // namespace
+}  // namespace dpf

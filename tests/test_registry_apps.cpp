@@ -1,0 +1,419 @@
+// Integration tests for the twenty application benchmarks: registry
+// completeness (Table 1 inventory), per-app physics invariants, and the
+// per-iteration communication inventory of Tables 6/7.
+
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_all_benchmarks();
+    CommLog::instance().reset();
+    flops::reset();
+  }
+
+  static index_t count(const RunResult& r, CommPattern p) {
+    index_t n = 0;
+    for (const auto& e : r.metrics.comm_events) n += (e.pattern == p);
+    return n;
+  }
+};
+
+TEST_F(AppsTest, AllThirtyTwoBenchmarksRegistered) {
+  EXPECT_EQ(Registry::instance().size(), 32u);
+  EXPECT_EQ(Registry::instance().by_group(Group::Communication).size(), 4u);
+  EXPECT_EQ(Registry::instance().by_group(Group::LinearAlgebra).size(), 8u);
+  EXPECT_EQ(Registry::instance().by_group(Group::Application).size(), 20u);
+}
+
+TEST_F(AppsTest, EveryBenchmarkHasBasicVersionAndRunner) {
+  for (const auto* def : Registry::instance().all()) {
+    SCOPED_TRACE(def->name);
+    EXPECT_TRUE(def->has_version(Version::Basic));
+    EXPECT_TRUE(static_cast<bool>(def->run));
+    EXPECT_FALSE(def->layouts.empty());
+  }
+}
+
+TEST_F(AppsTest, EveryApplicationRunsCleanlyAtDefaults) {
+  for (const auto* def : Registry::instance().by_group(Group::Application)) {
+    SCOPED_TRACE(def->name);
+    const auto r = def->run_with_defaults(RunConfig{});
+    EXPECT_GT(r.metrics.elapsed_seconds, 0.0);
+    EXPECT_GT(r.metrics.flop_count, 0) << def->name;
+    EXPECT_GT(r.metrics.memory_bytes, 0) << def->name;
+    const auto it = r.checks.find("residual");
+    ASSERT_NE(it, r.checks.end()) << def->name << " must expose a residual";
+    EXPECT_LT(it->second, 1e-3) << def->name << " residual=" << it->second;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Physics invariants per application.
+
+TEST_F(AppsTest, Diff3dObeysMaximumPrincipleAndLosesHeat) {
+  const auto* def = Registry::instance().find("diff-3D");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LE(r.checks.at("max_after"), r.checks.at("max_before") + 1e-12);
+  EXPECT_LT(r.checks.at("heat_ratio"), 1.0 + 1e-12);
+  EXPECT_GT(r.checks.at("heat_ratio"), 0.5);  // 8 steps leak little
+}
+
+TEST_F(AppsTest, Diff1dSineModeDecaysMonotonically) {
+  const auto* def = Registry::instance().find("diff-1D");
+  RunConfig cfg;
+  cfg.params["iters"] = 4;
+  const auto r4 = def->run_with_defaults(cfg);
+  cfg.params["iters"] = 8;
+  const auto r8 = def->run_with_defaults(cfg);
+  EXPECT_LT(r4.checks.at("decay"), 1.0);
+  EXPECT_LT(r8.checks.at("decay"), r4.checks.at("decay"));
+}
+
+TEST_F(AppsTest, Diff2dDecaysAndStaysPositive) {
+  const auto* def = Registry::instance().find("diff-2D");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("decay"), 1.0);
+  EXPECT_GT(r.checks.at("decay"), 0.0);
+}
+
+TEST_F(AppsTest, Ellip2dConvergesMonotonically) {
+  const auto* def = Registry::instance().find("ellip-2D");
+  RunConfig cfg;
+  cfg.params["iters"] = 80;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_LT(r.checks.at("residual_reduction"), 0.1);
+}
+
+TEST_F(AppsTest, RpBiCgReducesResidual) {
+  const auto* def = Registry::instance().find("rp");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("residual_reduction"), 0.5);
+}
+
+TEST_F(AppsTest, FemPatchTestReproducesLinearFunction) {
+  const auto* def = Registry::instance().find("fem-3D");
+  RunConfig cfg;
+  cfg.params["m"] = 4;
+  cfg.params["iters"] = 300;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_LT(r.checks.at("patch_error"), 1e-3);
+}
+
+TEST_F(AppsTest, NbodyVariantsProduceIdenticalForces) {
+  const auto* def = Registry::instance().find("n-body");
+  RunConfig cfg;
+  cfg.params["n"] = 64;
+  cfg.params["iters"] = 1;
+  std::map<index_t, std::pair<double, double>> f0;
+  // All eight variants: the four formulations and their "w/fill" twins.
+  for (index_t v : {0, 1, 2, 3, 4, 5, 6, 7}) {
+    cfg.params["variant"] = v;
+    const auto r = def->run_with_defaults(cfg);
+    f0[v] = {r.checks.at("fx0"), r.checks.at("fy0")};
+    EXPECT_LT(r.checks.at("residual"), 1e-9) << "variant " << v;
+  }
+  for (index_t v : {1, 2, 3, 4, 5, 6, 7}) {
+    EXPECT_NEAR(f0[v].first, f0[0].first, 1e-9 * std::abs(f0[0].first) + 1e-12)
+        << "variant " << v;
+    EXPECT_NEAR(f0[v].second, f0[0].second,
+                1e-9 * std::abs(f0[0].second) + 1e-12)
+        << "variant " << v;
+  }
+}
+
+TEST_F(AppsTest, MdConservesMomentum) {
+  const auto* def = Registry::instance().find("md");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("residual"), 1e-9);
+}
+
+TEST_F(AppsTest, MdcellConservesParticles) {
+  const auto* def = Registry::instance().find("mdcell");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_EQ(r.checks.at("residual"), 0.0);
+  EXPECT_GT(r.checks.at("particles"), 0.0);
+}
+
+TEST_F(AppsTest, QmcConvergesToGroundStateEnergy) {
+  const auto* def = Registry::instance().find("qmc");
+  const auto r = def->run_with_defaults(RunConfig{});
+  const double exact = r.checks.at("exact");
+  EXPECT_NEAR(r.checks.at("energy"), exact, 0.15 * exact);
+  EXPECT_GT(r.checks.at("population"), 64.0);  // population controlled
+}
+
+TEST_F(AppsTest, PicSimpleConservesCharge) {
+  const auto* def = Registry::instance().find("pic-simple");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("charge_error"), 1e-9);
+}
+
+TEST_F(AppsTest, PicGatherScatterPartitionOfUnityAndExactGradient) {
+  const auto* def = Registry::instance().find("pic-gather-scatter");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("charge_error"), 1e-8);
+  EXPECT_LT(r.checks.at("const_force_error"), 1e-9);
+}
+
+TEST_F(AppsTest, BosonMetropolisBehavesSanely) {
+  const auto* def = Registry::instance().find("boson");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_GT(r.checks.at("acceptance"), 0.05);
+  EXPECT_LT(r.checks.at("acceptance"), 0.99);
+  EXPECT_GT(r.checks.at("phi2"), 0.0);
+}
+
+TEST_F(AppsTest, QcdDslashIsAntiHermitianAndCgConverges) {
+  const auto* def = Registry::instance().find("qcd-kernel");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("antihermiticity"), 1e-10);
+  EXPECT_LT(r.checks.at("residual_reduction"), 0.9);
+}
+
+TEST_F(AppsTest, QptransportReducesInfeasibility) {
+  const auto* def = Registry::instance().find("qptransport");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_EQ(r.checks.at("residual"), 0.0);
+}
+
+TEST_F(AppsTest, KsSpectralConservesMeanMode) {
+  const auto* def = Registry::instance().find("ks-spectral");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("mean_drift"), 1e-8);
+  EXPECT_TRUE(std::isfinite(r.checks.at("max_amplitude")));
+}
+
+TEST_F(AppsTest, Wave1dStaysStable) {
+  const auto* def = Registry::instance().find("wave-1D");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_EQ(r.checks.at("residual"), 0.0);
+  EXPECT_GT(r.checks.at("energy_ratio"), 0.0);
+}
+
+TEST_F(AppsTest, FermionRotationChainTraceIsExact) {
+  const auto* def = Registry::instance().find("fermion");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_LT(r.checks.at("residual"), 1e-10);
+}
+
+TEST_F(AppsTest, GmoImpulseLandsOnMoveoutCurve) {
+  const auto* def = Registry::instance().find("gmo");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_EQ(r.checks.at("residual"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Communication-inventory checks (Tables 6 and 7).
+
+TEST_F(AppsTest, Diff3dOneStencilPerIteration) {
+  const auto* def = Registry::instance().find("diff-3D");
+  RunConfig cfg;
+  cfg.params["iters"] = 5;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(count(r, CommPattern::Stencil), 5);
+  // ... and the stencil is 7-point.
+  for (const auto& e : r.metrics.comm_events) {
+    if (e.pattern == CommPattern::Stencil) {
+      EXPECT_EQ(e.detail, 7);
+    }
+  }
+}
+
+TEST_F(AppsTest, RpTwelveCshiftsTwoReductionsPerIteration) {
+  const auto* def = Registry::instance().find("rp");
+  RunConfig cfg;
+  cfg.params["nx"] = 8;
+  cfg.params["ny"] = 8;
+  cfg.params["nz"] = 8;
+  cfg.params["iters"] = 4;
+  const auto r = def->run_with_defaults(cfg);
+  const auto iters = static_cast<index_t>(r.checks.at("iterations"));
+  // Setup: 6 transpose-coefficient CSHIFTs + initial dot; per iteration:
+  // 12 CSHIFTs and 2 Reductions.
+  EXPECT_EQ(count(r, CommPattern::CShift), 12 * iters);
+  EXPECT_EQ(count(r, CommPattern::Reduction), 2 * iters);
+}
+
+TEST_F(AppsTest, Step4HundredTwentyEightCshiftsPerIteration) {
+  const auto* def = Registry::instance().find("step4");
+  RunConfig cfg;
+  cfg.params["iters"] = 2;
+  cfg.params["nx"] = 24;
+  cfg.params["ny"] = 24;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(count(r, CommPattern::CShift), 128 * 2);
+  EXPECT_EQ(count(r, CommPattern::Stencil), 8 * 2);
+  for (const auto& e : r.metrics.comm_events) {
+    if (e.pattern == CommPattern::Stencil) {
+      EXPECT_EQ(e.detail, 16);
+    }
+  }
+}
+
+TEST_F(AppsTest, MdSpreadSendReductionInventory) {
+  const auto* def = Registry::instance().find("md");
+  RunConfig cfg;
+  cfg.params["np"] = 32;
+  cfg.params["iters"] = 3;
+  const auto r = def->run_with_defaults(cfg);
+  // One setup force call plus one per iteration: 4 total.
+  EXPECT_EQ(count(r, CommPattern::Spread), 6 * 4);
+  EXPECT_EQ(count(r, CommPattern::Send), 3 * 4);
+  EXPECT_EQ(count(r, CommPattern::Reduction), 3 * 4);
+}
+
+TEST_F(AppsTest, MdcellScatterInventory) {
+  const auto* def = Registry::instance().find("mdcell");
+  RunConfig cfg;
+  cfg.params["iters"] = 2;
+  cfg.params["nc"] = 4;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(count(r, CommPattern::Scatter), 7 * 2);
+  EXPECT_EQ(count(r, CommPattern::CShift), 216 * 2);
+}
+
+TEST_F(AppsTest, QcdSixteenCshiftsPerCgIteration) {
+  const auto* def = Registry::instance().find("qcd-kernel");
+  RunConfig cfg;
+  cfg.params["n"] = 4;
+  cfg.params["nt"] = 4;
+  cfg.params["iters"] = 3;
+  const auto r = def->run_with_defaults(cfg);
+  // 2 D-slash per iteration x 8 CSHIFTs each.
+  EXPECT_EQ(count(r, CommPattern::CShift), 16 * 3);
+}
+
+TEST_F(AppsTest, PicGatherScatterScanScatterGatherInventory) {
+  const auto* def = Registry::instance().find("pic-gather-scatter");
+  RunConfig cfg;
+  cfg.params["iters"] = 1;
+  cfg.params["np"] = 512;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(count(r, CommPattern::Scan), 81);
+  EXPECT_EQ(count(r, CommPattern::ScatterCombine), 27);
+  EXPECT_EQ(count(r, CommPattern::Gather), 27);
+  EXPECT_EQ(count(r, CommPattern::Sort), 1);
+}
+
+TEST_F(AppsTest, QptransportInventory) {
+  const auto* def = Registry::instance().find("qptransport");
+  RunConfig cfg;
+  cfg.params["iters"] = 2;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(count(r, CommPattern::Sort), 2);
+  EXPECT_EQ(count(r, CommPattern::Scan), 5 * 2);
+  EXPECT_EQ(count(r, CommPattern::CShift), 2);
+  EXPECT_EQ(count(r, CommPattern::EOShift), 2);
+  EXPECT_EQ(count(r, CommPattern::Reduction), 3 * 2);
+  EXPECT_EQ(count(r, CommPattern::Scatter), 6 * 2);
+}
+
+TEST_F(AppsTest, FemGatherScatterCombineInventory) {
+  const auto* def = Registry::instance().find("fem-3D");
+  RunConfig cfg;
+  cfg.params["m"] = 4;
+  cfg.params["iters"] = 5;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_EQ(count(r, CommPattern::Gather), 5);
+  // The setup diagonal assembly precedes the metric scope: exactly one
+  // combining scatter per iteration, as Table 6 states.
+  EXPECT_EQ(count(r, CommPattern::ScatterCombine), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 layout strings.
+
+TEST_F(AppsTest, Table5LayoutStrings) {
+  const std::map<std::string, std::string> expected = {
+      {"boson", "X(:serial,:,:)"},     {"diff-1D", "x(:)"},
+      {"diff-2D", "x(:serial,:)"},     {"diff-3D", "x(:,:,:)"},
+      {"ellip-2D", "x(:,:)"},          {"fermion", "x(:,:serial,:serial)"},
+      {"ks-spectral", "x(:,:)"},       {"mdcell", "x(:serial,:,:,:)"},
+      {"n-body", "x(:serial,:)"},      {"qptransport", "x(:)"},
+      {"rp", "x(:,:,:)"},              {"step4", "x(:serial,:,:)"},
+      {"wave-1D", "x(:)"},
+  };
+  for (const auto& [name, layout] : expected) {
+    const auto* def = Registry::instance().find(name);
+    ASSERT_NE(def, nullptr) << name;
+    EXPECT_EQ(def->layouts.front(), layout) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measured-vs-model FLOP agreement, parameterized over the whole suite.
+
+class ModelAgreement : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { register_all_benchmarks(); }
+};
+
+TEST_P(ModelAgreement, FlopCountScalesWithIterations) {
+  const auto* def = Registry::instance().find(GetParam());
+  ASSERT_NE(def, nullptr);
+  const auto it = def->default_params.find("iters");
+  if (it == def->default_params.end()) {
+    GTEST_SKIP() << "no iteration parameter";
+  }
+  if (GetParam() == "transpose") GTEST_SKIP() << "no FLOPs by design";
+  if (GetParam() == "conj-grad" || GetParam() == "ellip-2D") {
+    GTEST_SKIP() << "adaptive early exit decouples work from max_iters";
+  }
+  const index_t base = std::max<index_t>(it->second, 2);
+  RunConfig lo_cfg;
+  lo_cfg.params["iters"] = base;
+  RunConfig hi_cfg;
+  hi_cfg.params["iters"] = 2 * base;
+  const auto lo = def->run_with_defaults(lo_cfg);
+  const auto hi = def->run_with_defaults(hi_cfg);
+  // Doubling the main-loop trip count must roughly double the work (setup
+  // costs and adaptive early exits allow slack, but the growth must be
+  // super-linear-in-iterations, not flat).
+  EXPECT_GT(static_cast<double>(hi.metrics.flop_count),
+            1.3 * static_cast<double>(lo.metrics.flop_count))
+      << "lo=" << lo.metrics.flop_count << " hi=" << hi.metrics.flop_count;
+  EXPECT_LT(static_cast<double>(hi.metrics.flop_count),
+            2.7 * static_cast<double>(lo.metrics.flop_count));
+}
+
+TEST_P(ModelAgreement, MemoryWithinDeclaredTolerance) {
+  const auto* def = Registry::instance().find(GetParam());
+  ASSERT_NE(def, nullptr);
+  if (!def->model) GTEST_SKIP() << "no analytic model";
+  const auto r = def->run_with_defaults(RunConfig{});
+  const auto m = def->model_with_defaults(RunConfig{});
+  if (m.memory_bytes <= 0) GTEST_SKIP();
+  const double rel =
+      std::abs(static_cast<double>(r.metrics.memory_bytes - m.memory_bytes)) /
+      static_cast<double>(m.memory_bytes);
+  EXPECT_LE(rel, m.mem_rel_tol)
+      << "measured=" << r.metrics.memory_bytes << " model=" << m.memory_bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ModelAgreement,
+    ::testing::Values("reduction", "transpose", "matrix-vector", "lu", "qr",
+                      "gauss-jordan", "pcr", "conj-grad", "jacobi", "fft",
+                      "boson", "diff-1D", "diff-2D", "diff-3D", "ellip-2D",
+                      "fem-3D", "fermion", "gmo", "ks-spectral", "md",
+                      "mdcell", "n-body", "pic-simple", "pic-gather-scatter",
+                      "qcd-kernel", "qmc", "qptransport", "rp", "step4",
+                      "wave-1D"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpf

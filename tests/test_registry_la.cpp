@@ -1,0 +1,147 @@
+// Integration tests: run every registered linear-algebra benchmark end to
+// end and check (a) numerical validity, (b) the paper's Table 3/4 comm
+// inventory, (c) measured-vs-model FLOP and memory agreement, (d) metric
+// sanity (busy <= elapsed, positive rates).
+
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+class RegistryLaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_all_benchmarks();
+    CommLog::instance().reset();
+    flops::reset();
+  }
+};
+
+TEST_F(RegistryLaTest, AllEightLaBenchmarksRegistered) {
+  const auto la = Registry::instance().by_group(Group::LinearAlgebra);
+  EXPECT_EQ(la.size(), 8u);
+  for (const char* name : {"matrix-vector", "lu", "qr", "gauss-jordan", "pcr",
+                           "conj-grad", "jacobi", "fft"}) {
+    EXPECT_NE(Registry::instance().find(name), nullptr) << name;
+  }
+}
+
+TEST_F(RegistryLaTest, EveryLaBenchmarkRunsCleanly) {
+  for (const auto* def : Registry::instance().by_group(Group::LinearAlgebra)) {
+    SCOPED_TRACE(def->name);
+    const auto r = def->run_with_defaults(RunConfig{});
+    EXPECT_GT(r.metrics.elapsed_seconds, 0.0);
+    EXPECT_LE(r.metrics.busy_seconds, r.metrics.elapsed_seconds * 1.5);
+    EXPECT_GT(r.metrics.flop_count, 0);
+    EXPECT_GT(r.metrics.memory_bytes, 0);
+    const auto it = r.checks.find("residual");
+    if (it != r.checks.end()) {
+      EXPECT_LT(it->second, 1e-6) << def->name << " residual";
+    }
+  }
+}
+
+TEST_F(RegistryLaTest, SegmentsReportedForFactorSolveSplits) {
+  for (const char* name : {"lu", "qr"}) {
+    const auto* def = Registry::instance().find(name);
+    ASSERT_NE(def, nullptr);
+    const auto r = def->run_with_defaults(RunConfig{});
+    ASSERT_TRUE(r.segments.contains("factor")) << name;
+    ASSERT_TRUE(r.segments.contains("solve")) << name;
+    EXPECT_GT(r.segments.at("factor").flop_count, 0);
+    EXPECT_GT(r.segments.at("solve").flop_count, 0);
+    // Factor dominates solve arithmetically for these shapes.
+    EXPECT_GT(r.segments.at("factor").flop_count,
+              r.segments.at("solve").flop_count);
+  }
+}
+
+TEST_F(RegistryLaTest, MeasuredMemoryWithinModelTolerance) {
+  for (const auto* def : Registry::instance().by_group(Group::LinearAlgebra)) {
+    if (!def->model) continue;
+    SCOPED_TRACE(def->name);
+    const auto r = def->run_with_defaults(RunConfig{});
+    const auto m = def->model_with_defaults(RunConfig{});
+    const double rel =
+        std::abs(static_cast<double>(r.metrics.memory_bytes - m.memory_bytes)) /
+        static_cast<double>(m.memory_bytes);
+    EXPECT_LE(rel, m.mem_rel_tol)
+        << "measured " << r.metrics.memory_bytes << " vs model "
+        << m.memory_bytes;
+  }
+}
+
+TEST_F(RegistryLaTest, MatvecFlopsMatchModelExactly) {
+  const auto* def = Registry::instance().find("matrix-vector");
+  ASSERT_NE(def, nullptr);
+  for (index_t n : {32, 64, 96}) {
+    RunConfig cfg;
+    cfg.params["n"] = n;
+    cfg.params["m"] = n;
+    cfg.params["iters"] = 4;
+    const auto r = def->run_with_defaults(cfg);
+    const auto m = def->model_with_defaults(cfg);
+    // Basic version: 2nm multiplies+adds per iteration; the reduction's
+    // "n(m-1)" adds are within 2nm's tolerance.
+    const double per_iter = static_cast<double>(r.metrics.flop_count) / 4.0;
+    EXPECT_NEAR(per_iter / m.flops_per_iter, 1.0, m.flop_rel_tol)
+        << "n=" << n;
+  }
+}
+
+TEST_F(RegistryLaTest, CommInventoryMatchesTable4) {
+  // conj-grad: 2 CSHIFTs (our halo) + 3 Reductions per iteration.
+  const auto* cg = Registry::instance().find("conj-grad");
+  ASSERT_NE(cg, nullptr);
+  RunConfig cfg;
+  cfg.params["n"] = 128;
+  cfg.params["iters"] = 4;
+  const auto r = cg->run_with_defaults(cfg);
+  const auto counts = r.metrics.comm_counts();
+  index_t cshifts = 0, reductions = 0;
+  for (const auto& [k, v] : counts) {
+    if (k.pattern == CommPattern::CShift) cshifts += v;
+    if (k.pattern == CommPattern::Reduction) reductions += v;
+  }
+  const auto iters = static_cast<index_t>(r.checks.at("iterations"));
+  EXPECT_EQ(cshifts, 2 + 2 * iters);      // setup + per-iteration halo
+  EXPECT_EQ(reductions, 1 + 3 * iters);   // setup rho + 3 per iteration
+}
+
+TEST_F(RegistryLaTest, FftStageCountsMatchTable4Row) {
+  const auto* def = Registry::instance().find("fft");
+  ASSERT_NE(def, nullptr);
+  RunConfig cfg;
+  cfg.params["n"] = 64;
+  cfg.params["dims"] = 1;
+  cfg.params["iters"] = 1;
+  const auto r = def->run_with_defaults(cfg);
+  const auto counts = r.metrics.comm_counts();
+  index_t cshifts = 0, aapcs = 0;
+  for (const auto& [k, v] : counts) {
+    if (k.pattern == CommPattern::CShift) cshifts += v;
+    if (k.pattern == CommPattern::AAPC) aapcs += v;
+  }
+  // One forward + one inverse transform: 2 * (2 CSHIFTs per stage * log2(64)
+  // stages) and 2 AAPCs (one bit-reversal each).
+  EXPECT_EQ(cshifts, 2 * 2 * 6);
+  EXPECT_EQ(aapcs, 2);
+  // FLOPs: 5n per stage + inverse normalization (2n + 4).
+  const double expect = 2 * 5.0 * 64 * 6 + 2 * 64 + 4;
+  EXPECT_NEAR(static_cast<double>(r.metrics.flop_count), expect, expect * 0.01);
+}
+
+TEST_F(RegistryLaTest, LaLayoutStringsMatchTable2) {
+  EXPECT_EQ(Registry::instance().find("lu")->layouts.front(), "X(:,:,:)");
+  EXPECT_EQ(Registry::instance().find("qr")->layouts.front(), "X(:,:)");
+  EXPECT_EQ(Registry::instance().find("conj-grad")->layouts.front(), "X(:)");
+  EXPECT_EQ(Registry::instance().find("pcr")->layouts.size(), 3u);
+  EXPECT_EQ(Registry::instance().find("matrix-vector")->layouts.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dpf

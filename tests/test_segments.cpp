@@ -1,0 +1,80 @@
+// Per-code-segment metrics: the paper (section 1.5) reports segment-level
+// measures for boson, fem-3D, md, mdcell, qcd-kernel, qptransport and
+// step4, and factorization/solution splits for lu and qr. Each benchmark
+// must expose those segments, and the segment totals must be consistent
+// with the whole-run metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+class SegmentsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_all_benchmarks(); }
+};
+
+TEST_F(SegmentsTest, PaperSegmentListIsExposed) {
+  const std::map<std::string, std::vector<std::string>> expected = {
+      {"boson", {"metropolis", "observables"}},
+      {"fem-3D", {"gather", "element", "scatter+update"}},
+      {"md", {"forces"}},
+      {"mdcell", {"forces", "integrate+rebin"}},
+      {"qcd-kernel", {"dslash", "cg-vector"}},
+      {"qptransport", {"pricing+sort", "allocation"}},
+      {"step4", {"stencils", "update"}},
+      {"lu", {"factor", "solve"}},
+      {"qr", {"factor", "solve"}},
+  };
+  for (const auto& [name, segments] : expected) {
+    const auto* def = Registry::instance().find(name);
+    ASSERT_NE(def, nullptr) << name;
+    const auto r = def->run_with_defaults(RunConfig{});
+    for (const auto& seg : segments) {
+      EXPECT_TRUE(r.segments.contains(seg)) << name << " missing " << seg;
+    }
+  }
+}
+
+TEST_F(SegmentsTest, SegmentTimesNestWithinTheRun) {
+  for (const char* name : {"boson", "fem-3D", "qcd-kernel", "step4"}) {
+    const auto* def = Registry::instance().find(name);
+    ASSERT_NE(def, nullptr);
+    const auto r = def->run_with_defaults(RunConfig{});
+    double seg_elapsed = 0;
+    std::int64_t seg_flops = 0;
+    for (const auto& [seg, m] : r.segments) {
+      EXPECT_GE(m.elapsed_seconds, 0.0) << name << "/" << seg;
+      seg_elapsed += m.elapsed_seconds;
+      seg_flops += m.flop_count;
+    }
+    // Segments cover the main loop: their elapsed sum cannot exceed the
+    // whole run (small timing slack) and their FLOPs account for nearly
+    // all counted work.
+    EXPECT_LE(seg_elapsed, r.metrics.elapsed_seconds * 1.10 + 1e-4) << name;
+    EXPECT_GE(static_cast<double>(seg_flops),
+              0.9 * static_cast<double>(r.metrics.flop_count))
+        << name;
+    EXPECT_LE(seg_flops, r.metrics.flop_count) << name;
+  }
+}
+
+TEST_F(SegmentsTest, QcdDslashDominatesVectorOps) {
+  const auto* def = Registry::instance().find("qcd-kernel");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_GT(r.segments.at("dslash").flop_count,
+            3 * r.segments.at("cg-vector").flop_count);
+}
+
+TEST_F(SegmentsTest, Step4StencilsDominateUpdate) {
+  const auto* def = Registry::instance().find("step4");
+  const auto r = def->run_with_defaults(RunConfig{});
+  EXPECT_GT(r.segments.at("stencils").flop_count,
+            r.segments.at("update").flop_count);
+}
+
+}  // namespace
+}  // namespace dpf

@@ -1,0 +1,278 @@
+// Tests for the code-version axis of Table 1: every benchmark that ships
+// multiple versions must produce the same answers from each of them — the
+// versions differ in formulation (whole-array vs fused vs library), never
+// in semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "la/fft.hpp"
+#include "la/lu.hpp"
+#include "la/tridiag.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+class VersionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_all_benchmarks();
+    CommLog::instance().reset();
+    flops::reset();
+  }
+};
+
+TEST_F(VersionsTest, FftBasicCshiftLadderMatchesOptimized) {
+  const index_t n = 64;
+  Array1<complexd> a{Shape<1>(n)};
+  for (index_t i = 0; i < n; ++i) {
+    a[i] = complexd(std::sin(0.3 * i), std::cos(0.7 * i));
+  }
+  auto b = a;
+  la::fft_1d(a, la::FftDirection::Forward);
+  la::fft_1d_basic(b, la::FftDirection::Forward);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-9) << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-9) << i;
+  }
+}
+
+TEST_F(VersionsTest, FftBasicRoundTripIsIdentity) {
+  const index_t n = 128;
+  Array1<complexd> a{Shape<1>(n)};
+  for (index_t i = 0; i < n; ++i) {
+    a[i] = complexd(std::cos(0.1 * i * i), std::sin(0.2 * i));
+  }
+  auto orig = a;
+  la::fft_1d_basic(a, la::FftDirection::Forward);
+  la::fft_1d_basic(a, la::FftDirection::Inverse);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST_F(VersionsTest, FftBasicRecordsTwoCshiftsPerStage) {
+  const index_t n = 64;
+  Array1<complexd> a{Shape<1>(n)};
+  a[1] = complexd(1.0, 0.0);
+  CommScope scope;
+  la::fft_1d_basic(a, la::FftDirection::Forward);
+  EXPECT_EQ(scope.count(CommPattern::CShift), 2 * 6);  // log2(64) stages
+  EXPECT_EQ(scope.count(CommPattern::AAPC), 1);
+}
+
+TEST_F(VersionsTest, ConjGradFusedMatchesBasicSolution) {
+  const index_t n = 200;
+  la::Tridiag sys(n);
+  for (index_t i = 0; i < n; ++i) {
+    sys.b[i] = 3.0;
+    sys.a[i] = i > 0 ? -1.0 : 0.0;
+    sys.c[i] = i + 1 < n ? -1.0 : 0.0;
+  }
+  auto rhs = make_vector<double>(n);
+  for (index_t i = 0; i < n; ++i) rhs[i] = std::sin(0.05 * i);
+  auto x1 = make_vector<double>(n);
+  auto x2 = make_vector<double>(n);
+  const auto r1 = la::conj_grad_solve(sys, x1, rhs, 300, 1e-12);
+  const auto r2 = la::conj_grad_solve_fused(sys, x2, rhs, 300, 1e-12);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+}
+
+TEST_F(VersionsTest, ConjGradFusedKeepsCommInventory) {
+  const index_t n = 100;
+  la::Tridiag sys(n);
+  for (index_t i = 0; i < n; ++i) {
+    sys.b[i] = 3.0;
+    sys.a[i] = i > 0 ? -1.0 : 0.0;
+    sys.c[i] = i + 1 < n ? -1.0 : 0.0;
+  }
+  auto rhs = make_vector<double>(n);
+  fill_par(rhs, 1.0);
+  auto x = make_vector<double>(n);
+  CommScope scope;
+  const auto r = la::conj_grad_solve_fused(sys, x, rhs, 5, 0.0);
+  EXPECT_EQ(r.iterations, 5);
+  // Same logical structure as the basic version: 2 CSHIFT + 3 Reductions
+  // per iteration plus the setup Reduction.
+  EXPECT_EQ(scope.count(CommPattern::CShift), 2 * 5);
+  EXPECT_EQ(scope.count(CommPattern::Reduction), 1 + 3 * 5);
+}
+
+TEST_F(VersionsTest, ConjGradFusedCountsSameFlopsPerIteration) {
+  const index_t n = 128;
+  la::Tridiag sys(n);
+  for (index_t i = 0; i < n; ++i) {
+    sys.b[i] = 3.0;
+    sys.a[i] = i > 0 ? -1.0 : 0.0;
+    sys.c[i] = i + 1 < n ? -1.0 : 0.0;
+  }
+  auto rhs = make_vector<double>(n);
+  fill_par(rhs, 1.0);
+  auto xa = make_vector<double>(n);
+  auto xb = make_vector<double>(n);
+  flops::Scope fa;
+  (void)la::conj_grad_solve(sys, xa, rhs, 4, 0.0);
+  const auto basic = fa.count();
+  flops::Scope fb;
+  (void)la::conj_grad_solve_fused(sys, xb, rhs, 4, 0.0);
+  const auto fused = fb.count();
+  // The fused version eliminates sweeps, not arithmetic: counts match
+  // within a few FLOPs of bookkeeping.
+  EXPECT_NEAR(static_cast<double>(fused) / static_cast<double>(basic), 1.0,
+              0.05);
+}
+
+TEST_F(VersionsTest, GmoVersionsProduceSameOutput) {
+  const auto* def = Registry::instance().find("gmo");
+  ASSERT_NE(def, nullptr);
+  RunConfig basic;
+  basic.version = Version::Basic;
+  RunConfig opt;
+  opt.version = Version::Optimized;
+  const auto rb = def->run_with_defaults(basic);
+  const auto ro = def->run_with_defaults(opt);
+  EXPECT_EQ(rb.checks.at("residual"), 0.0);
+  EXPECT_EQ(ro.checks.at("residual"), 0.0);
+  // The optimized version trades memory for FLOPs: fewer counted FLOPs,
+  // more bytes.
+  EXPECT_LT(ro.metrics.flop_count, rb.metrics.flop_count);
+  EXPECT_GT(ro.metrics.memory_bytes, rb.metrics.memory_bytes);
+}
+
+TEST_F(VersionsTest, NbodyOptimizedVersionUsesSymmetry) {
+  const auto* def = Registry::instance().find("n-body");
+  ASSERT_NE(def, nullptr);
+  RunConfig basic;
+  basic.version = Version::Basic;
+  basic.params["n"] = 64;
+  basic.params["iters"] = 1;
+  RunConfig opt = basic;
+  opt.version = Version::Optimized;
+  const auto rb = def->run_with_defaults(basic);
+  const auto ro = def->run_with_defaults(opt);
+  // Symmetry halves the pair interactions: noticeably fewer FLOPs.
+  EXPECT_LT(static_cast<double>(ro.metrics.flop_count),
+            0.8 * static_cast<double>(rb.metrics.flop_count));
+  // ... with identical forces.
+  EXPECT_NEAR(ro.checks.at("fx0"), rb.checks.at("fx0"),
+              1e-9 * std::abs(rb.checks.at("fx0")) + 1e-12);
+}
+
+TEST_F(VersionsTest, MatvecVersionsAgreeThroughRegistry) {
+  const auto* def = Registry::instance().find("matrix-vector");
+  ASSERT_NE(def, nullptr);
+  for (Version v : {Version::Basic, Version::Optimized, Version::Library,
+                    Version::CMSSL}) {
+    RunConfig cfg;
+    cfg.version = v;
+    const auto r = def->run_with_defaults(cfg);
+    EXPECT_LT(r.checks.at("residual"), 1e-9)
+        << "version " << std::string(to_string(v));
+  }
+}
+
+TEST_F(VersionsTest, BlockedLuMatchesUnblocked) {
+  const index_t n = 70;  // not a multiple of the block size
+  auto a = make_matrix<double>(n, n);
+  const Rng rng(31);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(static_cast<std::uint64_t>(i * n + j), -1, 1) +
+                (i == j ? 4.0 : 0.0);
+    }
+  }
+  flops::Scope fu;
+  auto f1 = la::lu_factor(a);
+  const auto flops_unblocked = fu.count();
+  flops::Scope fb;
+  auto f2 = la::lu_factor_blocked(a, 16);
+  const auto flops_blocked = fb.count();
+  ASSERT_FALSE(f1.singular);
+  ASSERT_FALSE(f2.singular);
+  // Identical pivot sequence, identical factors (reassociation-level fp
+  // noise only), identical FLOP totals.
+  for (index_t k = 0; k < n; ++k) EXPECT_EQ(f1.pivots[k], f2.pivots[k]);
+  for (index_t i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(f1.lu[i], f2.lu[i], 1e-10) << i;
+  }
+  EXPECT_EQ(flops_unblocked, flops_blocked);
+  // And the blocked factor solves the system.
+  Array2<double> b{Shape<2>(n, 1)};
+  for (index_t i = 0; i < n; ++i) b(i, 0) = std::sin(0.2 * i);
+  auto x = b;
+  la::lu_solve(f2, x);
+  double res = 0;
+  for (index_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (index_t j = 0; j < n; ++j) acc += a(i, j) * x(j, 0);
+    res = std::max(res, std::abs(acc - b(i, 0)));
+  }
+  EXPECT_LT(res, 1e-9);
+}
+
+TEST_F(VersionsTest, LuBenchmarkCmsslVersionValidates) {
+  const auto* def = Registry::instance().find("lu");
+  ASSERT_NE(def, nullptr);
+  RunConfig cfg;
+  cfg.version = Version::CMSSL;
+  cfg.params["n"] = 64;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_LT(r.checks.at("residual"), 1e-8);
+}
+
+TEST_F(VersionsTest, Ellip2dPshiftVersionMatchesBasic) {
+  const auto* def = Registry::instance().find("ellip-2D");
+  ASSERT_NE(def, nullptr);
+  RunConfig basic;
+  basic.params["nx"] = 24;
+  basic.params["ny"] = 24;
+  basic.params["iters"] = 15;
+  RunConfig opt = basic;
+  opt.version = Version::Optimized;
+  const auto rb = def->run_with_defaults(basic);
+  const auto ro = def->run_with_defaults(opt);
+  // PSHIFT and CSHIFT are bit-identical: the CG trajectories agree.
+  EXPECT_EQ(rb.checks.at("residual_reduction"),
+            ro.checks.at("residual_reduction"));
+  // Same logical CSHIFT inventory.
+  index_t cb = 0, co = 0;
+  for (const auto& e : rb.metrics.comm_events) cb += (e.pattern == CommPattern::CShift);
+  for (const auto& e : ro.metrics.comm_events) co += (e.pattern == CommPattern::CShift);
+  EXPECT_EQ(cb, co);
+}
+
+TEST_F(VersionsTest, RpPshiftVersionMatchesBasic) {
+  const auto* def = Registry::instance().find("rp");
+  ASSERT_NE(def, nullptr);
+  RunConfig basic;
+  basic.params["nx"] = 8;
+  basic.params["ny"] = 8;
+  basic.params["nz"] = 8;
+  basic.params["iters"] = 10;
+  RunConfig opt = basic;
+  opt.version = Version::Optimized;
+  const auto rb = def->run_with_defaults(basic);
+  const auto ro = def->run_with_defaults(opt);
+  EXPECT_EQ(rb.checks.at("residual_reduction"),
+            ro.checks.at("residual_reduction"));
+}
+
+TEST_F(VersionsTest, FftBenchmarkBasicVersionValidates) {
+  const auto* def = Registry::instance().find("fft");
+  ASSERT_NE(def, nullptr);
+  RunConfig cfg;
+  cfg.version = Version::Basic;
+  cfg.params["n"] = 128;
+  cfg.params["dims"] = 1;
+  const auto r = def->run_with_defaults(cfg);
+  EXPECT_LT(r.checks.at("residual"), 1e-9);
+}
+
+}  // namespace
+}  // namespace dpf

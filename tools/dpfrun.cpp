@@ -1,0 +1,181 @@
+/// \file dpfrun.cpp
+/// Command-line driver for the suite — run any benchmark by name with
+/// arbitrary parameters and print the paper's metrics:
+///
+///   dpfrun list
+///   dpfrun info <benchmark>
+///   dpfrun run <benchmark> [--version=basic|optimized|library|cmssl|cdpeac]
+///                          [--vps=N] [--set key=value ...]
+///                          [--trace=FILE.csv]
+///
+/// Examples:
+///   dpfrun run conj-grad --set n=4096 --version=optimized
+///   dpfrun run fft --set n=1024 --set dims=2 --vps=8
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/registry.hpp"
+#include "suite/register_all.hpp"
+
+namespace {
+
+using namespace dpf;
+
+int cmd_list() {
+  for (Group g : {Group::Communication, Group::LinearAlgebra,
+                  Group::Application}) {
+    std::printf("[%s]\n", std::string(to_string(g)).c_str());
+    for (const auto* def : Registry::instance().by_group(g)) {
+      std::string versions;
+      for (Version v : def->versions) {
+        if (!versions.empty()) versions += ", ";
+        versions += std::string(to_string(v));
+      }
+      std::printf("  %-20s versions: %s\n", def->name.c_str(),
+                  versions.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_info(const std::string& name) {
+  const auto* def = Registry::instance().find(name);
+  if (def == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' (try: dpfrun list)\n",
+                 name.c_str());
+    return 2;
+  }
+  std::printf("%s  [%s]\n", def->name.c_str(),
+              std::string(to_string(def->group)).c_str());
+  std::printf("  layouts      : ");
+  for (const auto& l : def->layouts) std::printf("%s  ", l.c_str());
+  std::printf("\n  local access : %s\n",
+              std::string(to_string(def->local_access)).c_str());
+  if (!def->paper_flops.empty()) {
+    std::printf("  paper FLOPs  : %s\n", def->paper_flops.c_str());
+  }
+  if (!def->paper_memory.empty()) {
+    std::printf("  paper memory : %s\n", def->paper_memory.c_str());
+  }
+  if (!def->paper_comm.empty()) {
+    std::printf("  paper comm   : %s\n", def->paper_comm.c_str());
+  }
+  std::printf("  defaults     : ");
+  for (const auto& [k, v] : def->default_params) {
+    std::printf("%s=%lld ", k.c_str(), static_cast<long long>(v));
+  }
+  std::printf("\n");
+  for (const auto& [pattern, technique] : def->techniques) {
+    std::printf("  technique    : %-20s %s\n", pattern.c_str(),
+                technique.c_str());
+  }
+  return 0;
+}
+
+bool parse_version(const std::string& s, Version& out) {
+  if (s == "basic") out = Version::Basic;
+  else if (s == "optimized") out = Version::Optimized;
+  else if (s == "library") out = Version::Library;
+  else if (s == "cmssl") out = Version::CMSSL;
+  else if (s == "cdpeac") out = Version::CDpeac;
+  else return false;
+  return true;
+}
+
+int cmd_run(const std::string& name, const std::vector<std::string>& args) {
+  const auto* def = Registry::instance().find(name);
+  if (def == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' (try: dpfrun list)\n",
+                 name.c_str());
+    return 2;
+  }
+  RunConfig cfg;
+  std::string trace_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+    } else if (a.rfind("--version=", 0) == 0) {
+      if (!parse_version(a.substr(10), cfg.version)) {
+        std::fprintf(stderr, "bad version '%s'\n", a.c_str());
+        return 2;
+      }
+    } else if (a.rfind("--vps=", 0) == 0) {
+      Machine::instance().configure(std::atoi(a.c_str() + 6));
+    } else if (a == "--set" && i + 1 < args.size()) {
+      const std::string kv = args[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects key=value, got '%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      cfg.params[kv.substr(0, eq)] = std::atoll(kv.c_str() + eq + 1);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (!def->has_version(cfg.version)) {
+    std::fprintf(stderr, "note: '%s' does not declare a %s version; "
+                         "running it anyway (falls back to basic path)\n",
+                 name.c_str(), std::string(to_string(cfg.version)).c_str());
+  }
+
+  if (!trace_path.empty()) CommLog::instance().reset();
+  const auto r = def->run_with_defaults(cfg);
+  if (!trace_path.empty()) {
+    if (CommLog::instance().dump_csv(trace_path)) {
+      std::printf("communication trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+  std::printf("%s", format_metrics(name, r.metrics).c_str());
+  const double peak = Machine::instance().peak_mflops();
+  std::printf("  arithmetic efficiency  : %.2f%% of %.0f MFLOPS peak\n",
+              r.metrics.arithmetic_efficiency_pct(peak), peak);
+  for (const auto& [seg, m] : r.segments) {
+    std::printf("\n%s", format_metrics("segment " + seg, m).c_str());
+  }
+  std::printf("\nchecks:\n");
+  for (const auto& [k, v] : r.checks) {
+    std::printf("  %-22s %.8g\n", k.c_str(), v);
+  }
+  std::printf("\ncommunication (pattern, src rank -> dst rank: count):\n");
+  for (const auto& [key, count] : r.metrics.comm_counts()) {
+    std::printf("  %-20s %d -> %d: %lld\n",
+                std::string(to_string(key.pattern)).c_str(), key.src_rank,
+                key.dst_rank, static_cast<long long>(count));
+  }
+  const auto it = r.checks.find("residual");
+  return (it != r.checks.end() && it->second > 1e-3) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dpf::register_all_benchmarks();
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dpfrun list | info <name> | run <name> [options]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+  if (cmd == "run" && argc >= 3) {
+    std::vector<std::string> args;
+    for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+    return cmd_run(argv[2], args);
+  }
+  std::fprintf(stderr,
+               "usage: dpfrun list | info <name> | run <name> [options]\n");
+  return 2;
+}
