@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_distribution"
+  "../bench/ablate_distribution.pdb"
+  "CMakeFiles/ablate_distribution.dir/ablate_distribution.cpp.o"
+  "CMakeFiles/ablate_distribution.dir/ablate_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

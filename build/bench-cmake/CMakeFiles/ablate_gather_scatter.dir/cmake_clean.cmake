@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_gather_scatter"
+  "../bench/ablate_gather_scatter.pdb"
+  "CMakeFiles/ablate_gather_scatter.dir/ablate_gather_scatter.cpp.o"
+  "CMakeFiles/ablate_gather_scatter.dir/ablate_gather_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_gather_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

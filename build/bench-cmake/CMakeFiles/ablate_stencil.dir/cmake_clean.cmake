@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_stencil"
+  "../bench/ablate_stencil.pdb"
+  "CMakeFiles/ablate_stencil.dir/ablate_stencil.cpp.o"
+  "CMakeFiles/ablate_stencil.dir/ablate_stencil.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_nbody"
+  "../bench/perf_nbody.pdb"
+  "CMakeFiles/perf_nbody.dir/perf_nbody.cpp.o"
+  "CMakeFiles/perf_nbody.dir/perf_nbody.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

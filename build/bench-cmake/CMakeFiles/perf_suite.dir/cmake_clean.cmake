@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_suite"
+  "../bench/perf_suite.pdb"
+  "CMakeFiles/perf_suite.dir/perf_suite.cpp.o"
+  "CMakeFiles/perf_suite.dir/perf_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

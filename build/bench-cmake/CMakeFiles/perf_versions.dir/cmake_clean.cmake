@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_versions"
+  "../bench/perf_versions.pdb"
+  "CMakeFiles/perf_versions.dir/perf_versions.cpp.o"
+  "CMakeFiles/perf_versions.dir/perf_versions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_versions"
+  "../bench/table1_versions.pdb"
+  "CMakeFiles/table1_versions.dir/table1_versions.cpp.o"
+  "CMakeFiles/table1_versions.dir/table1_versions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

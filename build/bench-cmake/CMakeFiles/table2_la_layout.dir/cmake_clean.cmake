@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_la_layout"
+  "../bench/table2_la_layout.pdb"
+  "CMakeFiles/table2_la_layout.dir/table2_la_layout.cpp.o"
+  "CMakeFiles/table2_la_layout.dir/table2_la_layout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_la_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

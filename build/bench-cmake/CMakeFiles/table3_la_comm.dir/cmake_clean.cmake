@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_la_comm"
+  "../bench/table3_la_comm.pdb"
+  "CMakeFiles/table3_la_comm.dir/table3_la_comm.cpp.o"
+  "CMakeFiles/table3_la_comm.dir/table3_la_comm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_la_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_la_ratio"
+  "../bench/table4_la_ratio.pdb"
+  "CMakeFiles/table4_la_ratio.dir/table4_la_ratio.cpp.o"
+  "CMakeFiles/table4_la_ratio.dir/table4_la_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_la_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_app_layout"
+  "../bench/table5_app_layout.pdb"
+  "CMakeFiles/table5_app_layout.dir/table5_app_layout.cpp.o"
+  "CMakeFiles/table5_app_layout.dir/table5_app_layout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_app_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

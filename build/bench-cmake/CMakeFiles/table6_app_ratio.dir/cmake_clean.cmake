@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_app_ratio"
+  "../bench/table6_app_ratio.pdb"
+  "CMakeFiles/table6_app_ratio.dir/table6_app_ratio.cpp.o"
+  "CMakeFiles/table6_app_ratio.dir/table6_app_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_app_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

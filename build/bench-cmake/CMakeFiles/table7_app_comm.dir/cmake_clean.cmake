@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_app_comm"
+  "../bench/table7_app_comm.pdb"
+  "CMakeFiles/table7_app_comm.dir/table7_app_comm.cpp.o"
+  "CMakeFiles/table7_app_comm.dir/table7_app_comm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_app_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_techniques"
+  "../bench/table8_techniques.pdb"
+  "CMakeFiles/table8_techniques.dir/table8_techniques.cpp.o"
+  "CMakeFiles/table8_techniques.dir/table8_techniques.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-cmake
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[bench_table1_versions]=] "/root/repo/build/bench/table1_versions")
+set_tests_properties([=[bench_table1_versions]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table2_la_layout]=] "/root/repo/build/bench/table2_la_layout")
+set_tests_properties([=[bench_table2_la_layout]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table3_la_comm]=] "/root/repo/build/bench/table3_la_comm")
+set_tests_properties([=[bench_table3_la_comm]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table4_la_ratio]=] "/root/repo/build/bench/table4_la_ratio")
+set_tests_properties([=[bench_table4_la_ratio]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table5_app_layout]=] "/root/repo/build/bench/table5_app_layout")
+set_tests_properties([=[bench_table5_app_layout]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table6_app_ratio]=] "/root/repo/build/bench/table6_app_ratio")
+set_tests_properties([=[bench_table6_app_ratio]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table7_app_comm]=] "/root/repo/build/bench/table7_app_comm")
+set_tests_properties([=[bench_table7_app_comm]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_table8_techniques]=] "/root/repo/build/bench/table8_techniques")
+set_tests_properties([=[bench_table8_techniques]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_ablate_vp_scaling]=] "/root/repo/build/bench/ablate_vp_scaling")
+set_tests_properties([=[bench_ablate_vp_scaling]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_ablate_distribution]=] "/root/repo/build/bench/ablate_distribution")
+set_tests_properties([=[bench_ablate_distribution]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compiler_eval.dir/compiler_eval.cpp.o"
+  "CMakeFiles/example_compiler_eval.dir/compiler_eval.cpp.o.d"
+  "example_compiler_eval"
+  "example_compiler_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compiler_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heat_solver.dir/heat_solver.cpp.o"
+  "CMakeFiles/example_heat_solver.dir/heat_solver.cpp.o.d"
+  "example_heat_solver"
+  "example_heat_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heat_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_particle_sim.dir/particle_sim.cpp.o"
+  "CMakeFiles/example_particle_sim.dir/particle_sim.cpp.o.d"
+  "example_particle_sim"
+  "example_particle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_particle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

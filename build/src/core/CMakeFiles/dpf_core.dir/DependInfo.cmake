@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_log.cpp" "src/core/CMakeFiles/dpf_core.dir/comm_log.cpp.o" "gcc" "src/core/CMakeFiles/dpf_core.dir/comm_log.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/core/CMakeFiles/dpf_core.dir/machine.cpp.o" "gcc" "src/core/CMakeFiles/dpf_core.dir/machine.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/dpf_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/dpf_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/dpf_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/dpf_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

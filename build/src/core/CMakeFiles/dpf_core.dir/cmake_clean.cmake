@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpf_core.dir/comm_log.cpp.o"
+  "CMakeFiles/dpf_core.dir/comm_log.cpp.o.d"
+  "CMakeFiles/dpf_core.dir/machine.cpp.o"
+  "CMakeFiles/dpf_core.dir/machine.cpp.o.d"
+  "CMakeFiles/dpf_core.dir/metrics.cpp.o"
+  "CMakeFiles/dpf_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dpf_core.dir/registry.cpp.o"
+  "CMakeFiles/dpf_core.dir/registry.cpp.o.d"
+  "libdpf_core.a"
+  "libdpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/apps/boson.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/boson.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/boson.cpp.o.d"
+  "/root/repo/src/suite/apps/diff1d.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/diff1d.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/diff1d.cpp.o.d"
+  "/root/repo/src/suite/apps/diff2d.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/diff2d.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/diff2d.cpp.o.d"
+  "/root/repo/src/suite/apps/diff3d.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/diff3d.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/diff3d.cpp.o.d"
+  "/root/repo/src/suite/apps/ellip2d.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/ellip2d.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/ellip2d.cpp.o.d"
+  "/root/repo/src/suite/apps/fem3d.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/fem3d.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/fem3d.cpp.o.d"
+  "/root/repo/src/suite/apps/fermion.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/fermion.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/fermion.cpp.o.d"
+  "/root/repo/src/suite/apps/gmo.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/gmo.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/gmo.cpp.o.d"
+  "/root/repo/src/suite/apps/ks_spectral.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/ks_spectral.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/ks_spectral.cpp.o.d"
+  "/root/repo/src/suite/apps/md.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/md.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/md.cpp.o.d"
+  "/root/repo/src/suite/apps/mdcell.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/mdcell.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/mdcell.cpp.o.d"
+  "/root/repo/src/suite/apps/nbody.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/nbody.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/nbody.cpp.o.d"
+  "/root/repo/src/suite/apps/pic_gather_scatter.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/pic_gather_scatter.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/pic_gather_scatter.cpp.o.d"
+  "/root/repo/src/suite/apps/pic_simple.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/pic_simple.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/pic_simple.cpp.o.d"
+  "/root/repo/src/suite/apps/qcd_kernel.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/qcd_kernel.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/qcd_kernel.cpp.o.d"
+  "/root/repo/src/suite/apps/qmc.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/qmc.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/qmc.cpp.o.d"
+  "/root/repo/src/suite/apps/qptransport.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/qptransport.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/qptransport.cpp.o.d"
+  "/root/repo/src/suite/apps/register_apps.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/register_apps.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/register_apps.cpp.o.d"
+  "/root/repo/src/suite/apps/rp.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/rp.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/rp.cpp.o.d"
+  "/root/repo/src/suite/apps/step4.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/step4.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/step4.cpp.o.d"
+  "/root/repo/src/suite/apps/wave1d.cpp" "src/suite/CMakeFiles/dpf_suite.dir/apps/wave1d.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/apps/wave1d.cpp.o.d"
+  "/root/repo/src/suite/comm/comm_benchmarks.cpp" "src/suite/CMakeFiles/dpf_suite.dir/comm/comm_benchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/comm/comm_benchmarks.cpp.o.d"
+  "/root/repo/src/suite/la/conj_grad_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/conj_grad_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/conj_grad_bench.cpp.o.d"
+  "/root/repo/src/suite/la/fft_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/fft_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/fft_bench.cpp.o.d"
+  "/root/repo/src/suite/la/gauss_jordan_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/gauss_jordan_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/gauss_jordan_bench.cpp.o.d"
+  "/root/repo/src/suite/la/jacobi_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/jacobi_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/jacobi_bench.cpp.o.d"
+  "/root/repo/src/suite/la/lu_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/lu_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/lu_bench.cpp.o.d"
+  "/root/repo/src/suite/la/matvec_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/matvec_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/matvec_bench.cpp.o.d"
+  "/root/repo/src/suite/la/pcr_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/pcr_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/pcr_bench.cpp.o.d"
+  "/root/repo/src/suite/la/qr_bench.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/qr_bench.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/qr_bench.cpp.o.d"
+  "/root/repo/src/suite/la/register_la.cpp" "src/suite/CMakeFiles/dpf_suite.dir/la/register_la.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/la/register_la.cpp.o.d"
+  "/root/repo/src/suite/register_all.cpp" "src/suite/CMakeFiles/dpf_suite.dir/register_all.cpp.o" "gcc" "src/suite/CMakeFiles/dpf_suite.dir/register_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm_basic.cpp" "tests/CMakeFiles/dpf_tests.dir/test_comm_basic.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_comm_basic.cpp.o.d"
+  "/root/repo/tests/test_comm_multirank.cpp" "tests/CMakeFiles/dpf_tests.dir/test_comm_multirank.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_comm_multirank.cpp.o.d"
+  "/root/repo/tests/test_core_array.cpp" "tests/CMakeFiles/dpf_tests.dir/test_core_array.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_core_array.cpp.o.d"
+  "/root/repo/tests/test_core_machine.cpp" "tests/CMakeFiles/dpf_tests.dir/test_core_machine.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_core_machine.cpp.o.d"
+  "/root/repo/tests/test_core_metrics.cpp" "tests/CMakeFiles/dpf_tests.dir/test_core_metrics.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_core_metrics.cpp.o.d"
+  "/root/repo/tests/test_core_ops.cpp" "tests/CMakeFiles/dpf_tests.dir/test_core_ops.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_core_ops.cpp.o.d"
+  "/root/repo/tests/test_core_rng.cpp" "tests/CMakeFiles/dpf_tests.dir/test_core_rng.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_core_rng.cpp.o.d"
+  "/root/repo/tests/test_distribution.cpp" "tests/CMakeFiles/dpf_tests.dir/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_distribution.cpp.o.d"
+  "/root/repo/tests/test_extended_versions.cpp" "tests/CMakeFiles/dpf_tests.dir/test_extended_versions.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_extended_versions.cpp.o.d"
+  "/root/repo/tests/test_failure_modes.cpp" "tests/CMakeFiles/dpf_tests.dir/test_failure_modes.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_failure_modes.cpp.o.d"
+  "/root/repo/tests/test_forall.cpp" "tests/CMakeFiles/dpf_tests.dir/test_forall.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_forall.cpp.o.d"
+  "/root/repo/tests/test_hpf_intrinsics.cpp" "tests/CMakeFiles/dpf_tests.dir/test_hpf_intrinsics.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_hpf_intrinsics.cpp.o.d"
+  "/root/repo/tests/test_la_complex.cpp" "tests/CMakeFiles/dpf_tests.dir/test_la_complex.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_la_complex.cpp.o.d"
+  "/root/repo/tests/test_la_solvers.cpp" "tests/CMakeFiles/dpf_tests.dir/test_la_solvers.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_la_solvers.cpp.o.d"
+  "/root/repo/tests/test_numerics_quantitative.cpp" "tests/CMakeFiles/dpf_tests.dir/test_numerics_quantitative.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_numerics_quantitative.cpp.o.d"
+  "/root/repo/tests/test_processor_grid.cpp" "tests/CMakeFiles/dpf_tests.dir/test_processor_grid.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_processor_grid.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dpf_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_pshift.cpp" "tests/CMakeFiles/dpf_tests.dir/test_pshift.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_pshift.cpp.o.d"
+  "/root/repo/tests/test_registry_apps.cpp" "tests/CMakeFiles/dpf_tests.dir/test_registry_apps.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_registry_apps.cpp.o.d"
+  "/root/repo/tests/test_registry_la.cpp" "tests/CMakeFiles/dpf_tests.dir/test_registry_la.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_registry_la.cpp.o.d"
+  "/root/repo/tests/test_sections.cpp" "tests/CMakeFiles/dpf_tests.dir/test_sections.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_sections.cpp.o.d"
+  "/root/repo/tests/test_segments.cpp" "tests/CMakeFiles/dpf_tests.dir/test_segments.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_segments.cpp.o.d"
+  "/root/repo/tests/test_versions.cpp" "tests/CMakeFiles/dpf_tests.dir/test_versions.cpp.o" "gcc" "tests/CMakeFiles/dpf_tests.dir/test_versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/dpf_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfrun.dir/dpfrun.cpp.o"
+  "CMakeFiles/dpfrun.dir/dpfrun.cpp.o.d"
+  "dpfrun"
+  "dpfrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[dpfrun_list]=] "/root/repo/build/tools/dpfrun" "list")
+set_tests_properties([=[dpfrun_list]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[dpfrun_info]=] "/root/repo/build/tools/dpfrun" "info" "conj-grad")
+set_tests_properties([=[dpfrun_info]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[dpfrun_run]=] "/root/repo/build/tools/dpfrun" "run" "reduction" "--set" "n=4096")
+set_tests_properties([=[dpfrun_run]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[dpfrun_unknown]=] "/root/repo/build/tools/dpfrun" "run" "no-such-benchmark")
+set_tests_properties([=[dpfrun_unknown]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
