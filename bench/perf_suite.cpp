@@ -5,11 +5,73 @@
 /// metrics the paper reports for lu/qr factor-solve and the timed code
 /// segments of the application codes), and the arithmetic efficiency of
 /// the linear-algebra group against the calibrated machine peak.
+///
+/// Besides the human-readable table, the suite emits machine-readable
+/// results to BENCH_perf.json (override the path with DPF_BENCH_JSON or
+/// argv[1]) so the perf trajectory across PRs is diffable.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/table_common.hpp"
 #include "core/machine.hpp"
 
-int main() {
+namespace {
+
+struct Row {
+  std::string name;
+  std::string group;
+  dpf::Metrics metrics;
+  std::vector<std::pair<std::string, dpf::Metrics>> segments;
+};
+
+void json_metrics(std::FILE* f, const dpf::Metrics& m) {
+  std::fprintf(f,
+               "\"busy_s\": %.9f, \"elapsed_s\": %.9f, "
+               "\"busy_mflops\": %.3f, \"elapsed_mflops\": %.3f, "
+               "\"flops\": %lld, \"mem_bytes\": %lld, \"comm_ops\": %lld",
+               m.busy_seconds, m.elapsed_seconds, m.busy_mflops(),
+               m.elapsed_mflops(), static_cast<long long>(m.flop_count),
+               static_cast<long long>(m.memory_bytes),
+               static_cast<long long>(m.comm_op_count()));
+}
+
+void write_json(const std::string& path, int vps, double peak,
+                const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_suite: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"machine\": {\"vps\": %d, \"peak_mflops\": %.1f},\n",
+               vps, peak);
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"group\": \"%s\", ",
+                 r.name.c_str(), r.group.c_str());
+    json_metrics(f, r.metrics);
+    if (!r.segments.empty()) {
+      std::fprintf(f, ", \"segments\": {");
+      for (std::size_t s = 0; s < r.segments.size(); ++s) {
+        std::fprintf(f, "%s\"%s\": {", s ? ", " : "",
+                     r.segments[s].first.c_str());
+        json_metrics(f, r.segments[s].second);
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   dpf::register_all_benchmarks();
   using namespace dpf;
   const double peak = Machine::instance().peak_mflops();
@@ -22,6 +84,7 @@ int main() {
               "mem(B)", "eff(%)");
   bench::rule(110);
 
+  std::vector<Row> rows;
   for (Group g : {Group::Communication, Group::LinearAlgebra,
                   Group::Application}) {
     for (const auto* def : Registry::instance().by_group(g)) {
@@ -37,13 +100,21 @@ int main() {
         std::printf(" %7.2f", m.arithmetic_efficiency_pct(peak));
       }
       std::printf("\n");
+      Row row{def->name, std::string(to_string(g)), m, {}};
       for (const auto& [seg, sm] : r.segments) {
         std::printf("  %-18s %10.5f %10.5f %10.2f %10.2f %12lld\n",
                     seg.c_str(), sm.busy_seconds, sm.elapsed_seconds,
                     sm.busy_mflops(), sm.elapsed_mflops(),
                     static_cast<long long>(sm.flop_count));
+        row.segments.emplace_back(seg, sm);
       }
+      rows.push_back(std::move(row));
     }
   }
+
+  std::string json_path = "BENCH_perf.json";
+  if (const char* env = std::getenv("DPF_BENCH_JSON")) json_path = env;
+  if (argc > 1) json_path = argv[1];
+  write_json(json_path, Machine::instance().vps(), peak, rows);
   return 0;
 }

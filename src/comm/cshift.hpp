@@ -10,7 +10,16 @@
 /// distributed axis moves data between virtual processors; shifts along
 /// serial axes are local memory moves. Both are recorded; the off-processor
 /// byte count reflects the block distribution.
+///
+/// Implementation: because arrays are dense row-major, shifting axis `a`
+/// (extent n, stride st) rotates each contiguous (outer) slab of n*st
+/// elements by s*st positions. Every shift therefore reduces to two-segment
+/// std::copy rotates per slab — no per-element `oi / inner` and `oi % inner`
+/// arithmetic, and contiguous loads/stores the compiler turns into memmove.
+/// The VP partition slices the flattened element space, so slabs split
+/// across VPs keep full parallelism (a 1-D array is one big slab).
 
+#include <algorithm>
 #include <utility>
 
 #include "comm/detail.hpp"
@@ -20,35 +29,82 @@
 
 namespace dpf::comm {
 
-/// dst = cshift(src, axis, s). dst must have src's shape.
+namespace shift_detail {
+
+/// Copies dst[lo, hi) from a slab-rotated source: within each slab of
+/// `slab` contiguous elements, dst[base + k] = src[base + (k + rot) % slab].
+/// Runs over an arbitrary subrange, emitting at most three bulk copies per
+/// slab intersection.
+template <typename T>
+void rotate_range(T* dst, const T* src, index_t slab, index_t rot, index_t lo,
+                  index_t hi) {
+  while (lo < hi) {
+    const index_t base = (lo / slab) * slab;
+    const index_t slab_hi = std::min(hi, base + slab);
+    index_t k = lo - base;
+    while (lo < slab_hi) {
+      const index_t src_off = k + rot < slab ? k + rot : k + rot - slab;
+      const index_t len = std::min(slab_hi - lo, slab - src_off);
+      std::copy(src + base + src_off, src + base + src_off + len, dst + lo);
+      lo += len;
+      k += len;
+    }
+  }
+}
+
+/// Fills/copies dst[lo, hi) with end-off shift semantics: within each slab,
+/// positions [copy_lo, copy_hi) come from src at offset +shift elements,
+/// everything else takes `boundary`.
+template <typename T>
+void eoshift_range(T* dst, const T* src, index_t slab, index_t shift_elems,
+                   index_t copy_lo, index_t copy_hi, T boundary, index_t lo,
+                   index_t hi) {
+  while (lo < hi) {
+    const index_t base = (lo / slab) * slab;
+    const index_t slab_hi = std::min(hi, base + slab);
+    index_t k = lo - base;
+    while (lo < slab_hi) {
+      index_t len;
+      if (k < copy_lo) {
+        len = std::min(slab_hi - lo, copy_lo - k);
+        std::fill(dst + lo, dst + lo + len, boundary);
+      } else if (k < copy_hi) {
+        len = std::min(slab_hi - lo, copy_hi - k);
+        const index_t s0 = base + k + shift_elems;
+        std::copy(src + s0, src + s0 + len, dst + lo);
+      } else {
+        len = slab_hi - lo;
+        std::fill(dst + lo, dst + lo + len, boundary);
+      }
+      lo += len;
+      k += len;
+    }
+  }
+}
+
+}  // namespace shift_detail
+
+/// dst = cshift(src, axis, s). dst must have src's shape and must not alias
+/// src.
 template <typename T, std::size_t R>
 void cshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
                  index_t s, CommPattern pattern = CommPattern::CShift) {
   assert(dst.shape() == src.shape());
   assert(axis < R);
+  assert(dst.data().data() != src.data().data());
   const index_t n = src.extent(axis);
-  if (n == 0) return;
-  const auto strides = src.shape().strides();
-  const index_t st = strides[axis];
+  if (n == 0 || src.size() == 0) return;
+  const index_t st = src.shape().strides()[axis];
   // Normalize the shift into [0, n).
   index_t sh = s % n;
   if (sh < 0) sh += n;
 
-  // Decompose linear space as (outer, j, inner): outer covers axes before
-  // `axis`, inner covers axes after it.
-  const index_t inner = st;
-  const index_t outer = src.size() / (n * inner);
-
-  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
-    for (index_t oi = lo; oi < hi; ++oi) {
-      const index_t o = oi / inner;
-      const index_t i = oi % inner;
-      const index_t base = o * n * inner + i;
-      for (index_t j = 0; j < n; ++j) {
-        const index_t jj = j + sh < n ? j + sh : j + sh - n;
-        dst[base + j * st] = src[base + jj * st];
-      }
-    }
+  const index_t slab = n * st;   // contiguous elements per outer slab
+  const index_t rot = sh * st;   // rotation amount within a slab
+  const T* sp = src.data().data();
+  T* dp = dst.data().data();
+  parallel_range(src.size(), [&](index_t lo, index_t hi) {
+    shift_detail::rotate_range(dp, sp, slab, rot, lo, hi);
   });
 
   index_t offproc = 0;
@@ -75,30 +131,26 @@ template <typename T, std::size_t R>
 }
 
 /// dst = eoshift(src, axis, s, boundary): elements shifted past the end are
-/// dropped; vacated positions take `boundary`.
+/// dropped; vacated positions take `boundary`. dst must not alias src.
 template <typename T, std::size_t R>
 void eoshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
                   index_t s, T boundary) {
   assert(dst.shape() == src.shape());
   assert(axis < R);
+  assert(dst.data().data() != src.data().data());
   const index_t n = src.extent(axis);
-  if (n == 0) return;
-  const auto strides = src.shape().strides();
-  const index_t st = strides[axis];
-  const index_t inner = st;
-  const index_t outer = src.size() / (n * inner);
-
-  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
-    for (index_t oi = lo; oi < hi; ++oi) {
-      const index_t o = oi / inner;
-      const index_t i = oi % inner;
-      const index_t base = o * n * inner + i;
-      for (index_t j = 0; j < n; ++j) {
-        const index_t jj = j + s;
-        dst[base + j * st] =
-            (jj >= 0 && jj < n) ? src[base + jj * st] : boundary;
-      }
-    }
+  if (n == 0 || src.size() == 0) return;
+  const index_t st = src.shape().strides()[axis];
+  const index_t slab = n * st;
+  // Within each slab, dst positions [copy_lo, copy_hi) map to src at a
+  // fixed offset of s*st elements; the rest take the boundary value.
+  const index_t copy_lo = std::max<index_t>(0, -s) * st;
+  const index_t copy_hi = std::max<index_t>(0, std::min(n, n - s)) * st;
+  const T* sp = src.data().data();
+  T* dp = dst.data().data();
+  parallel_range(src.size(), [&](index_t lo, index_t hi) {
+    shift_detail::eoshift_range(dp, sp, slab, s * st, copy_lo,
+                                std::max(copy_lo, copy_hi), boundary, lo, hi);
   });
 
   index_t offproc = 0;

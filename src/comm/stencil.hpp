@@ -41,28 +41,47 @@ void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
     iext[a] = std::max<index_t>(ext[a] - 2 * halo_width, 0);
     interior *= iext[a];
   }
-  std::array<index_t, R> idiv{};
-  {
-    index_t acc = 1;
-    for (std::size_t a = R; a-- > 0;) {
-      idiv[a] = acc;
-      acc *= iext[a];
-    }
-  }
   if (interior > 0) {
-    parallel_range(interior, [&](index_t lo, index_t hi) {
-      for (index_t k = lo; k < hi; ++k) {
-        // Decode interior coordinate k into a full-grid linear index.
-        index_t rem = k;
-        index_t lin = 0;
-        for (std::size_t a = 0; a < R; ++a) {
-          const index_t coord = rem / idiv[a];
-          rem %= idiv[a];
-          lin += (coord + halo_width) * strides[a];
+    // Walk the interior row by row: decode each row's base index once
+    // (R-1 divisions per *row*, not R per element) and sweep the innermost
+    // axis with its stride — unit stride for row-major arrays, so the body
+    // runs over contiguous memory.
+    if constexpr (R == 1) {
+      const index_t st0 = strides[0];
+      parallel_range(interior, [&](index_t lo, index_t hi) {
+        for (index_t k = lo; k < hi; ++k) {
+          const index_t lin = (k + halo_width) * st0;
+          dst[lin] = fn(lin);
         }
-        dst[lin] = fn(lin);
+      });
+    } else {
+      const index_t row_len = iext[R - 1];
+      const index_t rows = interior / row_len;
+      const index_t st_inner = strides[R - 1];
+      // Row-major divisors over the R-1 outer interior extents.
+      std::array<index_t, R> rdiv{};
+      {
+        index_t acc = 1;
+        for (std::size_t a = R - 1; a-- > 0;) {
+          rdiv[a] = acc;
+          acc *= iext[a];
+        }
       }
-    });
+      parallel_range(rows, [&](index_t rlo, index_t rhi) {
+        for (index_t r = rlo; r < rhi; ++r) {
+          index_t rem = r;
+          index_t lin = halo_width * strides[R - 1];
+          for (std::size_t a = 0; a + 1 < R; ++a) {
+            const index_t coord = rem / rdiv[a];
+            rem %= rdiv[a];
+            lin += (coord + halo_width) * strides[a];
+          }
+          for (index_t j = 0; j < row_len; ++j, lin += st_inner) {
+            dst[lin] = fn(lin);
+          }
+        }
+      });
+    }
     flops::add_weighted(flops_per_elem * interior);
   }
 

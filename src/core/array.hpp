@@ -8,11 +8,16 @@
 /// or parallel (distributed). Construction/destruction updates the
 /// memory-usage metric unless the array is marked MemKind::Temporary (the
 /// stand-in for a compiler temporary, which the paper's accounting excludes).
+/// Temporary arrays of trivially-copyable element types draw their backing
+/// store from dpf::TemporaryPool (opt out with DPF_NO_POOL=1).
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -22,6 +27,115 @@
 #include "core/types.hpp"
 
 namespace dpf {
+
+namespace detail {
+
+/// Zero-initialized element buffer. Pool-backed when the element type is
+/// trivially copyable, the buffer belongs to a Temporary array, and pooling
+/// is enabled; plain value-initialized heap storage otherwise.
+template <typename T>
+class ElemBuffer {
+  static constexpr bool kPoolable =
+      std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>;
+
+ public:
+  ElemBuffer() = default;
+
+  ElemBuffer(std::size_t n, MemKind kind) { allocate(n, kind); }
+
+  ElemBuffer(const ElemBuffer& other) {
+    allocate(other.n_, other.cap_ > 0 ? MemKind::Temporary : MemKind::User);
+    if constexpr (kPoolable) {
+      if (n_ > 0) std::memcpy(p_, other.p_, n_ * sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < n_; ++i) p_[i] = other.p_[i];
+    }
+  }
+
+  ElemBuffer(ElemBuffer&& other) noexcept
+      : p_(other.p_), n_(other.n_), cap_(other.cap_) {
+    other.p_ = nullptr;
+    other.n_ = 0;
+    other.cap_ = 0;
+  }
+
+  ElemBuffer& operator=(const ElemBuffer& other) {
+    if (this != &other) {
+      ElemBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  ElemBuffer& operator=(ElemBuffer&& other) noexcept {
+    if (this != &other) {
+      deallocate();
+      p_ = other.p_;
+      n_ = other.n_;
+      cap_ = other.cap_;
+      other.p_ = nullptr;
+      other.n_ = 0;
+      other.cap_ = 0;
+    }
+    return *this;
+  }
+
+  ~ElemBuffer() { deallocate(); }
+
+  void swap(ElemBuffer& other) noexcept {
+    std::swap(p_, other.p_);
+    std::swap(n_, other.n_);
+    std::swap(cap_, other.cap_);
+  }
+
+  /// Releases the storage; the buffer becomes empty.
+  void reset() { deallocate(); }
+
+  [[nodiscard]] T* data() { return p_; }
+  [[nodiscard]] const T* data() const { return p_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  void allocate(std::size_t n, MemKind kind) {
+    n_ = n;
+    if (n == 0) {
+      p_ = nullptr;
+      return;
+    }
+    if constexpr (kPoolable) {
+      if (kind == MemKind::Temporary && TemporaryPool::enabled()) {
+        p_ = static_cast<T*>(
+            TemporaryPool::instance().acquire(n * sizeof(T), cap_));
+      } else {
+        p_ = static_cast<T*>(::operator new(n * sizeof(T)));
+      }
+      std::memset(static_cast<void*>(p_), 0, n * sizeof(T));
+    } else {
+      p_ = new T[n]();
+    }
+  }
+
+  void deallocate() {
+    if constexpr (kPoolable) {
+      if (cap_ > 0) {
+        TemporaryPool::instance().release(p_, cap_);
+      } else {
+        ::operator delete(p_);
+      }
+    } else {
+      delete[] p_;
+    }
+    p_ = nullptr;
+    n_ = 0;
+    cap_ = 0;
+  }
+
+  T* p_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t cap_ = 0;  ///< pool block capacity in bytes; 0 → not pooled
+};
+
+}  // namespace detail
 
 template <typename T, std::size_t Rank>
 class Array {
@@ -36,7 +150,7 @@ class Array {
       : shape_(shape),
         layout_(layout),
         kind_(kind),
-        data_(static_cast<std::size_t>(shape.size())) {
+        data_(static_cast<std::size_t>(shape.size()), kind) {
     if (kind_ == MemKind::User) memory::on_alloc(bytes());
   }
 
@@ -58,7 +172,6 @@ class Array {
         kind_(other.kind_),
         data_(std::move(other.data_)) {
     other.kind_ = MemKind::Temporary;  // moved-from array owns no tracked bytes
-    other.data_.clear();
   }
 
   Array& operator=(const Array& other) {
@@ -76,7 +189,6 @@ class Array {
     kind_ = other.kind_;
     data_ = std::move(other.data_);
     other.kind_ = MemKind::Temporary;
-    other.data_.clear();
     return *this;
   }
 
@@ -109,26 +221,26 @@ class Array {
 
   [[nodiscard]] T& operator[](index_t linear) {
     assert(linear >= 0 && linear < size());
-    return data_[static_cast<std::size_t>(linear)];
+    return data_.data()[static_cast<std::size_t>(linear)];
   }
   [[nodiscard]] const T& operator[](index_t linear) const {
     assert(linear >= 0 && linear < size());
-    return data_[static_cast<std::size_t>(linear)];
+    return data_.data()[static_cast<std::size_t>(linear)];
   }
 
   template <typename... I>
     requires(sizeof...(I) == Rank)
   [[nodiscard]] T& operator()(I... idx) {
-    return data_[static_cast<std::size_t>(shape_.offset(idx...))];
+    return data_.data()[static_cast<std::size_t>(shape_.offset(idx...))];
   }
 
   template <typename... I>
     requires(sizeof...(I) == Rank)
   [[nodiscard]] const T& operator()(I... idx) const {
-    return data_[static_cast<std::size_t>(shape_.offset(idx...))];
+    return data_.data()[static_cast<std::size_t>(shape_.offset(idx...))];
   }
 
-  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  void fill(T v) { std::fill(data_.data(), data_.data() + data_.size(), v); }
 
   /// The extent of the block-distributed axis (outermost parallel axis),
   /// or 1 if the array has no parallel axis (fully replicated/serial).
@@ -156,7 +268,7 @@ class Array {
   Shape<Rank> shape_;
   Layout<Rank> layout_;
   MemKind kind_;
-  std::vector<T> data_;
+  detail::ElemBuffer<T> data_;
 };
 
 /// Convenience aliases for the common ranks.

@@ -12,6 +12,20 @@ double seconds_between(clock_t_::time_point a, clock_t_::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Spin budget between regions before a worker parks: a short pause-spin for
+// the back-to-back-region case, then a yield phase that keeps oversubscribed
+// (workers > cores) configurations live, then the condition variable.
+constexpr int kPauseSpins = 2048;
+constexpr int kYieldSpins = 64;
+
 }  // namespace
 
 Machine& Machine::instance() {
@@ -27,6 +41,20 @@ int Machine::default_vps() {
   return 4;
 }
 
+namespace {
+
+// Worker-thread budget: DPF_WORKERS if set (useful for exercising the
+// multi-threaded barrier on single-core hosts), else hardware concurrency.
+int worker_budget() {
+  if (const char* env = std::getenv("DPF_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 256) return v;
+  }
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
 Machine::Machine() { configure(default_vps()); }
 
 Machine::~Machine() { stop_pool(); }
@@ -35,115 +63,152 @@ void Machine::configure(int vps) {
   if (vps < 1) vps = 1;
   stop_pool();
   vps_ = vps;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  workers_ = static_cast<int>(std::min<unsigned>(hw, static_cast<unsigned>(vps)));
-  busy_ns_.assign(static_cast<std::size_t>(vps_), 0.0);
+  workers_ = std::min(worker_budget(), vps);
+  // Chunked dispatch: with vps >> workers, claiming one VP per atomic RMW
+  // thrashes the cursor line; claim ~8 chunks per worker instead. A single
+  // worker claims the whole queue in one go.
+  chunk_ = workers_ == 1
+               ? static_cast<index_t>(vps_)
+               : std::max<index_t>(1, vps_ / (workers_ * 8));
+  busy_.assign(static_cast<std::size_t>(workers_), BusySlot{});
   start_pool();
 }
 
 void Machine::start_pool() {
-  shutdown_ = false;
-  // Worker 0 is the calling thread; spawn workers_ - 1 helpers.
+  shutdown_.store(false, std::memory_order_relaxed);
+  const std::uint64_t seen = gen_.load(std::memory_order_relaxed);
+  // Worker 0 is the dispatching thread; spawn workers_ - 1 helpers.
   pool_.reserve(static_cast<std::size_t>(workers_ - 1));
   for (int w = 1; w < workers_; ++w) {
-    pool_.emplace_back([this, w] { worker_loop(w); });
+    pool_.emplace_back([this, w, seen] { worker_loop(w, seen); });
   }
 }
 
 void Machine::stop_pool() {
+  if (pool_.empty()) return;
+  shutdown_.store(true, std::memory_order_seq_cst);
+  gen_.fetch_add(1, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-    ++generation_;
+    cv_start_.notify_all();
   }
-  cv_start_.notify_all();
   for (auto& t : pool_) t.join();
   pool_.clear();
 }
 
-void Machine::worker_loop(int /*worker_id*/) {
-  std::uint64_t seen = 0;
+void Machine::drain(RegionFn fn, void* ctx, double* slot) {
+  const index_t p = static_cast<index_t>(vps_);
   for (;;) {
-    const std::function<void(int)>* body = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
-      seen = generation_;
-      body = body_;
-      if (body == nullptr) continue;  // region already fully drained
-      ++active_workers_;
-    }
-    // Drain the VP queue.
-    for (;;) {
-      const index_t vp = next_vp_.fetch_add(1, std::memory_order_relaxed);
-      if (vp >= vps_) break;
-      const auto t0 = clock_t_::now();
-      (*body)(static_cast<int>(vp));
-      const auto t1 = clock_t_::now();
-      busy_ns_[static_cast<std::size_t>(vp)] +=
-          seconds_between(t0, t1) * 1e9;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_workers_;
-    }
-    cv_done_.notify_all();
+    const index_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= p) return;
+    const index_t end = std::min(begin + chunk_, p);
+    const auto t0 = clock_t_::now();
+    for (index_t vp = begin; vp < end; ++vp) fn(ctx, static_cast<int>(vp));
+    const auto t1 = clock_t_::now();
+    *slot += seconds_between(t0, t1) * 1e9;
   }
 }
 
-void Machine::spmd(const std::function<void(int)>& body) {
-  // Nested regions run inline on the calling VP worker (flat SPMD model).
-  if (in_region_.exchange(true)) {
-    // Already inside a region on this machine: execute all VPs inline.
-    // (This only happens if a region body itself calls spmd; CMF semantics
-    // serialize such nesting.)
-    for (int vp = 0; vp < vps_; ++vp) body(vp);
+void Machine::worker_loop(int worker_id, std::uint64_t seen) {
+  double* slot = &busy_[static_cast<std::size_t>(worker_id)].ns;
+  for (;;) {
+    // Wait for the next generation: spin, yield, then park.
+    std::uint64_t g = gen_.load(std::memory_order_acquire);
+    if (g == seen) {
+      for (int i = 0; i < kPauseSpins; ++i) {
+        cpu_relax();
+        g = gen_.load(std::memory_order_acquire);
+        if (g != seen) break;
+      }
+      for (int i = 0; g == seen && i < kYieldSpins; ++i) {
+        std::this_thread::yield();
+        g = gen_.load(std::memory_order_acquire);
+      }
+      if (g == seen) {
+        std::unique_lock<std::mutex> lock(mu_);
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        cv_start_.wait(lock, [&] {
+          return gen_.load(std::memory_order_seq_cst) != seen;
+        });
+        parked_.fetch_sub(1, std::memory_order_seq_cst);
+        g = gen_.load(std::memory_order_seq_cst);
+      }
+    }
+    seen = g;
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    drain(fn_, ctx_, slot);
+    // Arrival barrier: the dispatcher returns from the region only after
+    // every helper has checked in, so no stale claim can outlive a region.
+    arrived_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiter_parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void Machine::spmd_raw(RegionFn fn, void* ctx) {
+  // Nested regions run inline on the calling VP worker (flat SPMD model;
+  // CMF semantics serialize such nesting).
+  if (in_region_.exchange(true, std::memory_order_acquire)) {
+    for (int vp = 0; vp < vps_; ++vp) fn(ctx, vp);
     return;
   }
   // Exception safety: a throwing body must not leave the machine wedged in
   // the "inside a region" state.
   struct RegionGuard {
     std::atomic<bool>& flag;
-    ~RegionGuard() { flag.store(false); }
+    ~RegionGuard() { flag.store(false, std::memory_order_release); }
   } guard{in_region_};
 
-  {
+  cursor_.store(0, std::memory_order_relaxed);
+  if (workers_ == 1) {
+    // Single-worker fast path: a plain inline loop, no handshake at all.
+    drain(fn, ctx, &busy_[0].ns);
+    return;
+  }
+
+  fn_ = fn;
+  ctx_ = ctx;
+  arrived_.store(0, std::memory_order_relaxed);
+  gen_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
     std::lock_guard<std::mutex> lock(mu_);
-    body_ = &body;
-    next_vp_.store(0, std::memory_order_relaxed);
-    ++generation_;
-  }
-  cv_start_.notify_all();
-
-  // The calling thread participates as a worker.
-  for (;;) {
-    const index_t vp = next_vp_.fetch_add(1, std::memory_order_relaxed);
-    if (vp >= vps_) break;
-    const auto t0 = clock_t_::now();
-    body(static_cast<int>(vp));
-    const auto t1 = clock_t_::now();
-    busy_ns_[static_cast<std::size_t>(vp)] += seconds_between(t0, t1) * 1e9;
+    cv_start_.notify_all();
   }
 
-  // Wait for helpers to finish their share.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] {
-      return active_workers_ == 0 &&
-             next_vp_.load(std::memory_order_relaxed) >= vps_;
-    });
-    body_ = nullptr;
+  drain(fn, ctx, &busy_[0].ns);
+
+  // Wait for all helpers to arrive: spin, then park on cv_done_.
+  const int need = workers_ - 1;
+  if (arrived_.load(std::memory_order_acquire) != need) {
+    for (int i = 0; i < kPauseSpins; ++i) {
+      cpu_relax();
+      if (arrived_.load(std::memory_order_acquire) == need) break;
+    }
+    for (int i = 0;
+         arrived_.load(std::memory_order_acquire) != need && i < kYieldSpins;
+         ++i) {
+      std::this_thread::yield();
+    }
+    if (arrived_.load(std::memory_order_seq_cst) != need) {
+      std::unique_lock<std::mutex> lock(mu_);
+      waiter_parked_.store(true, std::memory_order_seq_cst);
+      cv_done_.wait(lock, [&] {
+        return arrived_.load(std::memory_order_seq_cst) == need;
+      });
+      waiter_parked_.store(false, std::memory_order_seq_cst);
+    }
   }
 }
 
 void Machine::reset_busy() {
-  busy_ns_.assign(busy_ns_.size(), 0.0);
+  for (auto& b : busy_) b.ns = 0.0;
 }
 
 double Machine::busy_seconds() const {
   double total = 0.0;
-  for (double ns : busy_ns_) total += ns;
+  for (const auto& b : busy_) total += b.ns;
   return total / (1e9 * static_cast<double>(vps_));
 }
 

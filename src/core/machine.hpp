@@ -9,15 +9,25 @@
 /// of worker threads. Every data-parallel operation is an SPMD region: each
 /// VP executes the region body over its block of the distributed axis.
 ///
-/// The machine keeps per-VP *busy time* (time spent inside SPMD region
-/// bodies). The suite's "busy time" metric is the mean VP busy time, and
-/// "elapsed time" is wall-clock time — mirroring the CM-5 timers where busy
-/// time excludes idle/host-overhead periods.
+/// The machine keeps *busy time* (time spent inside SPMD region bodies).
+/// The suite's "busy time" metric is the mean VP busy time, and "elapsed
+/// time" is wall-clock time — mirroring the CM-5 timers where busy time
+/// excludes idle/host-overhead periods.
+///
+/// Dispatch protocol (see DESIGN.md "Execution engine"): regions are
+/// published to a persistent worker pool through a generation counter and a
+/// plain function pointer + context (no std::function, no allocation).
+/// Workers claim VPs in chunks off one shared atomic cursor, spin briefly on
+/// the generation counter between regions, and park on a condition variable
+/// only after the spin budget is exhausted. The dispatching thread always
+/// participates as worker 0; with a single worker (the default on a
+/// single-core host) a region is a plain inline loop with no atomics beyond
+/// one cursor reset.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -31,6 +41,10 @@ namespace dpf {
 /// reconfiguration joins the old pool and starts a new one.
 class Machine {
  public:
+  /// Region body: fn(ctx, vp). The type-erasure-free analogue of
+  /// std::function<void(int)> — one indirect call, no allocation.
+  using RegionFn = void (*)(void* ctx, int vp);
+
   /// Global machine instance. First access constructs a machine with
   /// `default_vps()` virtual processors.
   static Machine& instance();
@@ -40,20 +54,34 @@ class Machine {
   ~Machine();
 
   /// Reconfigures the machine with `vps` virtual processors serviced by
-  /// min(vps, hardware) worker threads. Not callable from inside an SPMD
-  /// region.
+  /// min(vps, workers) worker threads, where `workers` is the DPF_WORKERS
+  /// environment variable if set, else the hardware concurrency. Not
+  /// callable from inside an SPMD region.
   void configure(int vps);
 
   /// Number of virtual processors P.
   [[nodiscard]] int vps() const { return vps_; }
 
-  /// Runs `body(vp)` for every vp in [0, P); blocks until all complete.
-  /// Time spent in each body invocation accrues to that VP's busy time.
-  /// Nested calls from inside a region body execute inline on the calling
-  /// VP (the machine is a flat SPMD model, like CMF).
-  void spmd(const std::function<void(int)>& body);
+  /// Number of OS worker threads servicing the VPs (including the
+  /// dispatching thread).
+  [[nodiscard]] int workers() const { return workers_; }
 
-  /// Resets all per-VP busy-time accumulators.
+  /// Runs `body(vp)` for every vp in [0, P); blocks until all complete.
+  /// Time spent in region bodies accrues to busy time. Nested calls from
+  /// inside a region body execute inline on the calling VP (the machine is
+  /// a flat SPMD model, like CMF).
+  template <typename F>
+  void spmd(F&& body) {
+    using Fn = std::remove_reference_t<F>;
+    spmd_raw(
+        [](void* ctx, int vp) { (*static_cast<Fn*>(ctx))(vp); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
+
+  /// The untyped core of spmd(): runs fn(ctx, vp) for every vp.
+  void spmd_raw(RegionFn fn, void* ctx);
+
+  /// Resets the busy-time accumulators.
   void reset_busy();
 
   /// Mean per-VP busy time in seconds since the last reset_busy().
@@ -71,25 +99,46 @@ class Machine {
   Machine();
   void start_pool();
   void stop_pool();
-  void worker_loop(int worker_id);
+  void worker_loop(int worker_id, std::uint64_t seen);
+  /// Claims and executes chunks of the current region's VP queue until the
+  /// cursor is exhausted; accrues chunk time to busy slot `slot`.
+  void drain(RegionFn fn, void* ctx, double* slot);
 
   int vps_ = 1;
   int workers_ = 1;
+  index_t chunk_ = 1;  ///< VPs claimed per cursor fetch_add
 
-  // Dispatch state: generation counter wakes workers; next_vp_ is the shared
-  // VP-index queue for the current region.
+  // --- dispatch state ---------------------------------------------------
+  // Region publication: the dispatcher writes fn_/ctx_, resets the cursor
+  // and arrival count, then increments gen_ (release). Workers acquire-read
+  // gen_, so the plain fields are safely visible. Workers re-enter the
+  // queue only after the dispatcher has observed their arrival, so the
+  // cursor reset can never race a stale claim (no ABA).
+  alignas(64) std::atomic<std::uint64_t> gen_{0};
+  alignas(64) std::atomic<index_t> cursor_{0};  ///< next unclaimed VP
+  alignas(64) std::atomic<int> arrived_{0};     ///< helpers done this region
+  RegionFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> in_region_{false};
+
+  // --- park/wake slow path ---------------------------------------------
   std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  int active_workers_ = 0;
-  const std::function<void(int)>* body_ = nullptr;
-  std::atomic<index_t> next_vp_{0};
-  bool shutdown_ = false;
+  std::condition_variable cv_start_;  ///< parked workers await a new gen
+  std::condition_variable cv_done_;   ///< parked dispatcher awaits arrivals
+  std::atomic<int> parked_{0};        ///< workers currently on cv_start_
+  std::atomic<bool> waiter_parked_{false};  ///< dispatcher on cv_done_
+
   std::vector<std::thread> pool_;
 
-  std::vector<double> busy_ns_;  // per-VP accumulated busy nanoseconds
-  std::atomic<bool> in_region_{false};
+  /// Per-worker busy accumulators, cache-line padded. Slot 0 belongs to the
+  /// dispatching thread. busy_seconds() reports sum / vps (the per-VP mean;
+  /// chunked timing redistributes time among VPs inside one chunk but
+  /// preserves the sum).
+  struct alignas(64) BusySlot {
+    double ns = 0.0;
+  };
+  std::vector<BusySlot> busy_;
 
   double peak_mflops_ = 0.0;
 };

@@ -12,6 +12,7 @@
 /// costs 6n^2 FLOPs (3n^2 for the row pass, 3n^2 for the column pass) plus
 /// O(n) angle computation.
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <vector>

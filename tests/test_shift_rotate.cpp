@@ -1,0 +1,214 @@
+// Correctness of the rotate-based cshift/eoshift against a straightforward
+// scalar reference implementation: results must be bit-identical across
+// serial and distributed axes, positive/negative/zero shifts, and |s| > n.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "comm/cshift.hpp"
+#include "core/array.hpp"
+#include "core/machine.hpp"
+
+namespace dpf {
+namespace {
+
+class ShiftRotateTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Machine::instance().configure(Machine::default_vps());
+  }
+};
+
+// Scalar reference: dst(c) = src(c with coord[axis] -> (coord+s) mod n),
+// element by element, no bulk copies.
+template <typename T, std::size_t R>
+Array<T, R> cshift_reference(const Array<T, R>& src, std::size_t axis,
+                             index_t s) {
+  Array<T, R> dst(src.shape(), src.layout(), MemKind::Temporary);
+  const auto strides = src.shape().strides();
+  const index_t n = src.extent(axis);
+  for (index_t i = 0; i < src.size(); ++i) {
+    const index_t j = (i / strides[axis]) % n;
+    index_t jj = (j + s) % n;
+    if (jj < 0) jj += n;
+    const index_t k = i + (jj - j) * strides[axis];
+    dst[i] = src[k];
+  }
+  return dst;
+}
+
+template <typename T, std::size_t R>
+Array<T, R> eoshift_reference(const Array<T, R>& src, std::size_t axis,
+                              index_t s, T boundary) {
+  Array<T, R> dst(src.shape(), src.layout(), MemKind::Temporary);
+  const auto strides = src.shape().strides();
+  const index_t n = src.extent(axis);
+  for (index_t i = 0; i < src.size(); ++i) {
+    const index_t j = (i / strides[axis]) % n;
+    const index_t jj = j + s;
+    if (jj >= 0 && jj < n) {
+      dst[i] = src[i + (jj - j) * strides[axis]];
+    } else {
+      dst[i] = boundary;
+    }
+  }
+  return dst;
+}
+
+template <typename T, std::size_t R>
+void expect_bit_identical(const Array<T, R>& a, const Array<T, R>& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (index_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(T)), 0)
+        << what << " differs at linear index " << i;
+  }
+}
+
+template <std::size_t R>
+std::vector<index_t> shift_values(index_t n) {
+  return {0, 1, -1, 2, -3, n - 1, n, -n, n + 3, -(n + 2), 2 * n + 1,
+          -(2 * n + 1)};
+}
+
+// Every layout assigning Serial/Parallel kinds to a rank-2 array.
+std::vector<Layout<2>> layouts2() {
+  std::vector<Layout<2>> out;
+  for (AxisKind k0 : {AxisKind::Parallel, AxisKind::Serial}) {
+    for (AxisKind k1 : {AxisKind::Parallel, AxisKind::Serial}) {
+      out.emplace_back(k0, k1);
+    }
+  }
+  return out;
+}
+
+TEST_F(ShiftRotateTest, CShiftRank1MatchesReference) {
+  for (int vps : {1, 4, 16}) {
+    Machine::instance().configure(vps);
+    for (index_t n : {1, 2, 7, 64, 101}) {
+      auto v = make_vector<double>(n, MemKind::Temporary);
+      for (index_t i = 0; i < n; ++i) v[i] = 1000.0 * i + 0.25;
+      for (index_t s : shift_values<1>(n)) {
+        auto got = comm::cshift(v, 0, s);
+        auto want = cshift_reference(v, 0, s);
+        expect_bit_identical(got, want,
+                             "cshift n=" + std::to_string(n) +
+                                 " s=" + std::to_string(s) +
+                                 " vps=" + std::to_string(vps));
+      }
+    }
+  }
+}
+
+TEST_F(ShiftRotateTest, CShiftRank2AllAxesAndLayouts) {
+  Machine::instance().configure(4);
+  for (const Layout<2>& layout : layouts2()) {
+    Array2<double> a(Shape<2>(5, 9), layout, MemKind::Temporary);
+    for (index_t i = 0; i < a.size(); ++i) a[i] = 3.0 * i - 7.5;
+    for (std::size_t axis : {std::size_t{0}, std::size_t{1}}) {
+      const index_t n = a.extent(axis);
+      for (index_t s : shift_values<2>(n)) {
+        Array2<double> got(a.shape(), layout, MemKind::Temporary);
+        comm::cshift_into(got, a, axis, s);
+        auto want = cshift_reference(a, axis, s);
+        expect_bit_identical(got, want,
+                             "cshift2 layout=" + layout.to_string() +
+                                 " axis=" + std::to_string(axis) +
+                                 " s=" + std::to_string(s));
+      }
+    }
+  }
+}
+
+TEST_F(ShiftRotateTest, CShiftRank3EveryAxis) {
+  Machine::instance().configure(8);
+  Array3<float> a(Shape<3>(4, 6, 5), Layout<3>{}, MemKind::Temporary);
+  for (index_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i) * 0.5f - 11.0f;
+  }
+  for (std::size_t axis : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    const index_t n = a.extent(axis);
+    for (index_t s : shift_values<3>(n)) {
+      Array3<float> got(a.shape(), a.layout(), MemKind::Temporary);
+      comm::cshift_into(got, a, axis, s);
+      auto want = cshift_reference(a, axis, s);
+      expect_bit_identical(got, want,
+                           "cshift3 axis=" + std::to_string(axis) +
+                               " s=" + std::to_string(s));
+    }
+  }
+}
+
+TEST_F(ShiftRotateTest, EOShiftRank1MatchesReference) {
+  for (int vps : {1, 3, 16}) {
+    Machine::instance().configure(vps);
+    for (index_t n : {1, 2, 8, 97}) {
+      auto v = make_vector<double>(n, MemKind::Temporary);
+      for (index_t i = 0; i < n; ++i) v[i] = -2.0 * i + 0.125;
+      for (index_t s : shift_values<1>(n)) {
+        auto got = comm::eoshift(v, 0, s, -99.5);
+        auto want = eoshift_reference(v, 0, s, -99.5);
+        expect_bit_identical(got, want,
+                             "eoshift n=" + std::to_string(n) +
+                                 " s=" + std::to_string(s) +
+                                 " vps=" + std::to_string(vps));
+      }
+    }
+  }
+}
+
+TEST_F(ShiftRotateTest, EOShiftRank2AllAxesAndLayouts) {
+  Machine::instance().configure(4);
+  for (const Layout<2>& layout : layouts2()) {
+    Array2<double> a(Shape<2>(7, 4), layout, MemKind::Temporary);
+    for (index_t i = 0; i < a.size(); ++i) a[i] = 0.5 * i + 1.0;
+    for (std::size_t axis : {std::size_t{0}, std::size_t{1}}) {
+      const index_t n = a.extent(axis);
+      for (index_t s : shift_values<2>(n)) {
+        Array2<double> got(a.shape(), layout, MemKind::Temporary);
+        comm::eoshift_into(got, a, axis, s, 7.75);
+        auto want = eoshift_reference(a, axis, s, 7.75);
+        expect_bit_identical(got, want,
+                             "eoshift2 layout=" + layout.to_string() +
+                                 " axis=" + std::to_string(axis) +
+                                 " s=" + std::to_string(s));
+      }
+    }
+  }
+}
+
+TEST_F(ShiftRotateTest, EOShiftRank3EveryAxis) {
+  Machine::instance().configure(16);
+  Array3<double> a(Shape<3>(3, 5, 8), Layout<3>{}, MemKind::Temporary);
+  for (index_t i = 0; i < a.size(); ++i) a[i] = 1.0 / (1.0 + i);
+  for (std::size_t axis : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    const index_t n = a.extent(axis);
+    for (index_t s : shift_values<3>(n)) {
+      Array3<double> got(a.shape(), a.layout(), MemKind::Temporary);
+      comm::eoshift_into(got, a, axis, s, 0.0);
+      auto want = eoshift_reference(a, axis, s, 0.0);
+      expect_bit_identical(got, want,
+                           "eoshift3 axis=" + std::to_string(axis) +
+                               " s=" + std::to_string(s));
+    }
+  }
+}
+
+// The value-returning cshift draws from TemporaryPool; results must be
+// identical whether the backing store is freshly allocated or recycled.
+TEST_F(ShiftRotateTest, RepeatedPooledShiftsStayCorrect) {
+  Machine::instance().configure(4);
+  auto v = make_vector<double>(257, MemKind::Temporary);
+  for (index_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  for (int round = 0; round < 20; ++round) {
+    auto got = comm::cshift(v, 0, round - 10);
+    auto want = cshift_reference(v, 0, round - 10);
+    expect_bit_identical(got, want, "round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace dpf
