@@ -1,0 +1,198 @@
+/// \file net_microbench.cpp
+/// Interconnect microbenchmarks for the dpf::net transport, in the style of
+/// the classic ping-pong / b_eff pair:
+///
+///   * ping-pong — round-trip latency of one minimal message VP0 <-> VP1
+///     (three SPMD regions per round), from which the cost model's alpha
+///     (per-message/region latency) follows;
+///   * bandwidth sweep — every VP streams messages of increasing size to its
+///     ring neighbour; the aggregate posted-bytes/second curve exposes the
+///     latency-to-bandwidth crossover and calibrates beta.
+///
+/// The binary then runs the cost model's own calibration probes and prints
+/// the resulting constants, so a report's predicted-vs-measured columns can
+/// be traced back to these numbers. Machine-readable output goes to
+/// BENCH_net.json (override with DPF_BENCH_JSON or a path argument).
+/// `--smoke` shrinks rounds and sizes for CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/table_common.hpp"
+#include "core/machine.hpp"
+#include "net/cost_model.hpp"
+#include "net/net.hpp"
+
+namespace {
+
+using dpf::Machine;
+
+double now_pingpong(int rounds) {
+  Machine& m = Machine::instance();
+  dpf::net::Transport& t = dpf::net::transport();
+  std::uint64_t payload = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t tag = dpf::net::next_tag();
+    m.spmd([&](int v) {
+      if (v == 0) t.post(0, 1, tag, &payload, sizeof(payload));
+    });
+    m.spmd([&](int v) {
+      if (v == 1) {
+        std::uint64_t got = 0;
+        (void)t.try_fetch(1, 0, tag, &got, sizeof(got));
+        t.post(1, 0, tag + (1ull << 63), &got, sizeof(got));
+      }
+    });
+    m.spmd([&](int v) {
+      if (v == 0) {
+        std::uint64_t got = 0;
+        (void)t.try_fetch(0, 1, tag + (1ull << 63), &got, sizeof(got));
+      }
+    });
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() /
+         rounds;
+}
+
+struct SweepPoint {
+  std::size_t bytes = 0;   ///< message size per VP per rep
+  double seconds = 0.0;    ///< wall time of the whole rep loop
+  double agg_mbps = 0.0;   ///< aggregate posted MB/s across all VPs
+};
+
+SweepPoint ring_bandwidth(std::size_t msg_bytes, int reps) {
+  Machine& m = Machine::instance();
+  dpf::net::Transport& t = dpf::net::transport();
+  const int p = m.vps();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p)),
+      in(static_cast<std::size_t>(p));
+  for (int v = 0; v < p; ++v) {
+    out[static_cast<std::size_t>(v)].resize(msg_bytes);
+    in[static_cast<std::size_t>(v)].resize(msg_bytes);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t base =
+        dpf::net::next_tags(static_cast<std::uint64_t>(p));
+    m.spmd([&](int v) {
+      t.post(v, (v + 1) % p, base + static_cast<std::uint64_t>(v),
+             out[static_cast<std::size_t>(v)].data(), msg_bytes);
+    });
+    m.spmd([&](int v) {
+      const int left = (v - 1 + p) % p;
+      (void)t.try_fetch(v, left, base + static_cast<std::uint64_t>(left),
+                        in[static_cast<std::size_t>(v)].data(), msg_bytes);
+    });
+  }
+  SweepPoint pt;
+  pt.bytes = msg_bytes;
+  pt.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double total_bytes = static_cast<double>(msg_bytes) * p * reps;
+  pt.agg_mbps = pt.seconds > 0 ? total_bytes / pt.seconds / 1e6 : 0.0;
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_net.json";
+  if (const char* env = std::getenv("DPF_BENCH_JSON")) json_path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  Machine& m = Machine::instance();
+  if (m.vps() < 2) m.configure(4);
+  const int p = m.vps();
+
+  dpf::bench::title("dpf::net interconnect microbenchmarks");
+  std::printf("machine: %d virtual processors on %d workers, transport %s\n",
+              p, m.workers(), dpf::net::transport().name());
+
+  const int pingpong_rounds = smoke ? 200 : 2000;
+  const double rt = now_pingpong(pingpong_rounds);
+  std::printf("\nping-pong VP0 <-> VP1 (%d rounds)\n", pingpong_rounds);
+  std::printf("  round trip            : %.3f us\n", rt * 1e6);
+  std::printf("  per message+region    : %.3f us\n", rt / 3.0 * 1e6);
+
+  std::vector<std::size_t> sizes;
+  if (smoke) {
+    sizes = {64, 4096, 65536};
+  } else {
+    for (std::size_t s = 64; s <= (1u << 20); s *= 8) sizes.push_back(s);
+  }
+  std::printf("\nring bandwidth sweep (every VP -> right neighbour)\n");
+  std::printf("  %10s %12s %14s\n", "msg bytes", "time (s)", "agg MB/s");
+  std::vector<SweepPoint> sweep;
+  for (std::size_t s : sizes) {
+    const int reps =
+        smoke ? 3
+              : std::max(3, static_cast<int>((4u << 20) / (s * static_cast<std::size_t>(p))));
+    const SweepPoint pt = ring_bandwidth(s, reps);
+    std::printf("  %10zu %12.6f %14.1f\n", pt.bytes, pt.seconds, pt.agg_mbps);
+    sweep.push_back(pt);
+  }
+
+  dpf::net::calibrate(/*force=*/true);
+  const auto& prm = dpf::net::CostModel::instance().params();
+  std::printf("\ncalibrated fat-tree cost model\n");
+  std::printf("  alpha (s/message)     : %.3e\n", prm.alpha);
+  std::printf("  beta  (s/byte)        : %.3e\n", prm.beta);
+  std::printf("  gamma (s/element)     : %.3e\n", prm.gamma);
+  std::printf("  delta (s/elem engine) : %.3e\n", prm.delta);
+  std::printf("  radix / contention    : %d / %.2f\n", prm.radix,
+              prm.contention);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "net_microbench: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"machine\": {\"vps\": %d, \"workers\": %d},\n", p,
+               m.workers());
+  std::fprintf(f,
+               "  \"pingpong\": {\"rounds\": %d, \"round_trip_s\": %.9e, "
+               "\"per_region_s\": %.9e},\n",
+               pingpong_rounds, rt, rt / 3.0);
+  std::fprintf(f, "  \"bandwidth\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"bytes\": %zu, \"seconds\": %.9e, \"agg_mbps\": "
+                 "%.3f}%s\n",
+                 sweep[i].bytes, sweep[i].seconds, sweep[i].agg_mbps,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cost_model\": {\"alpha\": %.9e, \"beta\": %.9e, "
+               "\"gamma\": %.9e, \"delta\": %.9e, \"radix\": %d, "
+               "\"contention\": %.3f}\n",
+               prm.alpha, prm.beta, prm.gamma, prm.delta, prm.radix,
+               prm.contention);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  // Internal consistency: calibration must yield positive constants and the
+  // sweep must have moved every byte it posted.
+  if (!(prm.alpha > 0.0 && prm.beta > 0.0 && prm.gamma > 0.0 &&
+        prm.delta > 0.0)) {
+    return 1;
+  }
+  if (dpf::net::transport().pending() != 0) return 1;
+  return 0;
+}

@@ -18,13 +18,25 @@
 namespace dpf::comm {
 
 /// Replicates a scalar over every element of dst; recorded as a Broadcast
-/// from rank 0 (scalar) to rank R.
+/// from rank 0 (scalar) to rank R. Under DPF_NET=algorithmic the scalar
+/// travels a binomial tree through the transport and each VP fills its own
+/// block with the copy it received (bit-exact, so both modes agree).
 template <typename T, std::size_t R>
 void broadcast_fill(Array<T, R>& dst, T value) {
-  fill_par(dst, value);
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    const std::vector<T> vals = net::bcast_value(value);
+    for_each_block(dst.size(), [&](int vp, Block b) {
+      const T v = vals[static_cast<std::size_t>(vp)];
+      for (index_t i = b.begin; i < b.end; ++i) dst[i] = v;
+    });
+  } else {
+    fill_par(dst, value);
+  }
   detail::record(CommPattern::Broadcast, 0, static_cast<int>(R), dst.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
 }
 
 /// dst(..., j at `axis`, ...) = src(...) for every j: SPREAD along `axis`.
@@ -41,24 +53,39 @@ void spread_into(Array<T, R>& dst, const Array<T, R - 1>& src,
   const index_t outer = dst.size() / (n * inner);
   assert(src.size() == outer * inner);
 
-  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
-    for (index_t oi = lo; oi < hi; ++oi) {
-      const index_t o = oi / inner;
-      const index_t i = oi % inner;
-      const index_t base = o * n * inner + i;
-      const T v = src[oi];
-      for (index_t j = 0; j < n; ++j) dst[base + j * st] = v;
-    }
-  });
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    // Personalized exchange: destination element L pulls its source element
+    // o*inner + i, moving each replica as one transport message element.
+    net::exchange(
+        dst.data().data(), dst.size(), src.data().data(),
+        [=](index_t L) {
+          const index_t o = L / (n * inner);
+          const index_t i = L % inner;
+          return o * inner + i;
+        },
+        [&](index_t L) { return detail::owner_id_linear(dst, L); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); });
+  } else {
+    parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+      for (index_t oi = lo; oi < hi; ++oi) {
+        const index_t o = oi / inner;
+        const index_t i = oi % inner;
+        const index_t base = o * n * inner + i;
+        const T v = src[oi];
+        for (index_t j = 0; j < n; ++j) dst[base + j * st] = v;
+      }
+    });
+  }
 
   // Replication along the distributed axis sends one copy of src to every
   // VP that does not own it.
-  const int p = Machine::instance().vps();
   const index_t offproc = (dst.layout().distributed_axis() == axis && p > 1)
                               ? src.bytes() * (p - 1) / p
                               : 0;
   detail::record(pattern, static_cast<int>(R - 1), static_cast<int>(R),
-                 dst.bytes(), offproc);
+                 dst.bytes(), offproc, 0, timer.seconds());
 }
 
 /// Returns SPREAD(src, axis, copies) as a library temporary.

@@ -5,6 +5,7 @@
 /// (paper section 2 and the primitives of Tables 7/8).
 
 #include "comm/broadcast.hpp"    // IWYU pragma: export
+#include "comm/butterfly.hpp"    // IWYU pragma: export
 #include "comm/cshift.hpp"       // IWYU pragma: export
 #include "comm/gather_scatter.hpp"  // IWYU pragma: export
 #include "comm/pshift.hpp"       // IWYU pragma: export

@@ -103,13 +103,28 @@ void cshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
   const index_t rot = sh * st;   // rotation amount within a slab
   const T* sp = src.data().data();
   T* dp = dst.data().data();
-  parallel_range(src.size(), [&](index_t lo, index_t hi) {
-    shift_detail::rotate_range(dp, sp, slab, rot, lo, hi);
-  });
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    // Ring formulation: each VP packs the rotated-in elements it owns and
+    // pushes them to the destination owner; local elements copy in place.
+    net::exchange(
+        dp, src.size(), sp,
+        [=](index_t L) {
+          const index_t base = (L / slab) * slab;
+          const index_t k = L - base + rot;
+          return base + (k < slab ? k : k - slab);
+        },
+        [&](index_t L) { return detail::owner_id_linear(dst, L); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); });
+  } else {
+    parallel_range(src.size(), [&](index_t lo, index_t hi) {
+      shift_detail::rotate_range(dp, sp, slab, rot, lo, hi);
+    });
+  }
 
   index_t offproc = 0;
-  const int procs_here = src.layout().procs_on_axis(
-      axis, Machine::instance().vps());
+  const int procs_here = src.layout().procs_on_axis(axis, p);
   if (procs_here > 1 && sh != 0) {
     const index_t moved = detail::moved_slots(
         n, [&](index_t j) { return (j + sh) % n; }, src.layout().dist(),
@@ -118,7 +133,7 @@ void cshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
     offproc = moved * (src.bytes() / n);
   }
   detail::record(pattern, static_cast<int>(R), static_cast<int>(R),
-                 src.bytes(), offproc);
+                 src.bytes(), offproc, 0, timer.seconds());
 }
 
 /// Returns cshift(src, axis, s) as a library temporary.
@@ -148,14 +163,30 @@ void eoshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
   const index_t copy_hi = std::max<index_t>(0, std::min(n, n - s)) * st;
   const T* sp = src.data().data();
   T* dp = dst.data().data();
-  parallel_range(src.size(), [&](index_t lo, index_t hi) {
-    shift_detail::eoshift_range(dp, sp, slab, s * st, copy_lo,
-                                std::max(copy_lo, copy_hi), boundary, lo, hi);
-  });
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    const index_t chi = std::max(copy_lo, copy_hi);
+    const index_t shift_elems = s * st;
+    net::exchange(
+        dp, src.size(), sp,
+        [=](index_t L) -> index_t {
+          const index_t k = L % slab;
+          if (k < copy_lo || k >= chi) return -1;  // boundary fill
+          return L + shift_elems;
+        },
+        [&](index_t L) { return detail::owner_id_linear(dst, L); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); }, boundary);
+  } else {
+    parallel_range(src.size(), [&](index_t lo, index_t hi) {
+      shift_detail::eoshift_range(dp, sp, slab, s * st, copy_lo,
+                                  std::max(copy_lo, copy_hi), boundary, lo,
+                                  hi);
+    });
+  }
 
   index_t offproc = 0;
-  const int procs_here = src.layout().procs_on_axis(
-      axis, Machine::instance().vps());
+  const int procs_here = src.layout().procs_on_axis(axis, p);
   if (procs_here > 1 && s != 0) {
     const index_t moved = detail::moved_slots(
         n,
@@ -167,7 +198,8 @@ void eoshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
     offproc = moved * (src.bytes() / n);
   }
   detail::record(CommPattern::EOShift, static_cast<int>(R),
-                 static_cast<int>(R), src.bytes(), offproc);
+                 static_cast<int>(R), src.bytes(), offproc, 0,
+                 timer.seconds());
 }
 
 /// Returns eoshift(src, axis, s, boundary) as a library temporary.

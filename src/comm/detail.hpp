@@ -5,11 +5,37 @@
 /// classification of data movement under the block distribution of an
 /// array's distributed axis.
 
+#include <chrono>
+
 #include "core/array.hpp"
 #include "core/comm_log.hpp"
 #include "core/machine.hpp"
+#include "net/collectives.hpp"
+#include "net/net.hpp"
 
 namespace dpf::comm::detail {
+
+/// Wall-clock timer for one collective operation; feeds the measured
+/// `seconds` field of the recorded CommEvent.
+class OpTimer {
+ public:
+  OpTimer() : t0_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// True when two arrays share one backing store (full aliasing — the
+/// in-place case the payload-once accounting rule covers).
+template <typename T, std::size_t R>
+[[nodiscard]] bool same_store(const Array<T, R>& a, const Array<T, R>& b) {
+  return a.data().data() == b.data().data();
+}
 
 /// Number of positions j in [0,n) whose owner under the given distribution
 /// over `procs` processors (the machine VP count when 0) differs from the
@@ -70,11 +96,28 @@ template <typename T, std::size_t R>
   return d > 0 ? a.bytes() / d : 0;
 }
 
-/// Records one event on the global log.
+/// Routes per-VP reduction/scan partials through the transport allgather
+/// when the algorithmic formulation is selected. The gathered copies are
+/// bit-exact, so the caller's ascending combine loop — and therefore the
+/// floating-point result — is unchanged.
+template <typename T>
+void share_partials(std::vector<T>& partial) {
+  if (partial.size() > 1 && net::algorithmic()) {
+    net::allgather_slots(partial);
+  }
+}
+
+/// Records one event on the global log, annotated with the fat-tree hop
+/// count and (when the cost model is calibrated) the predicted time.
+/// `bytes` follows the payload-once rule (see CommEvent): the logical
+/// payload is counted exactly once regardless of aliasing or staging.
 inline void record(CommPattern pattern, int src_rank, int dst_rank,
-                   index_t bytes, index_t offproc_bytes, index_t detail = 0) {
-  CommLog::instance().record(
-      CommEvent{pattern, src_rank, dst_rank, bytes, offproc_bytes, detail});
+                   index_t bytes, index_t offproc_bytes, index_t detail = 0,
+                   double seconds = 0.0) {
+  CommEvent e{pattern, src_rank, dst_rank, bytes, offproc_bytes, detail};
+  e.seconds = seconds;
+  net::annotate(e);
+  CommLog::instance().record(e);
 }
 
 }  // namespace dpf::comm::detail

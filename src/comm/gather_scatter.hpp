@@ -53,15 +53,27 @@ void gather_into(Array<T, RD>& dst, const Array<T, RS>& src,
                  const Array<index_t, RD>& map,
                  CommPattern pattern = CommPattern::Gather) {
   assert(map.size() == dst.size());
-  parallel_range(dst.size(), [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      assert(map[i] >= 0 && map[i] < src.size());
-      dst[i] = src[map[i]];
-    }
-  });
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    const index_t* mp = map.data().data();
+    net::exchange(
+        dst.data().data(), dst.size(), src.data().data(),
+        [=](index_t i) { return mp[i]; },
+        [&](index_t i) { return detail::owner_id_linear(dst, i); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); });
+  } else {
+    parallel_range(dst.size(), [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        assert(map[i] >= 0 && map[i] < src.size());
+        dst[i] = src[map[i]];
+      }
+    });
+  }
   detail::record(pattern, static_cast<int>(RS), static_cast<int>(RD),
                  dst.bytes(),
-                 gs_detail::offproc_bytes(dst, src, map, /*map_src=*/true));
+                 gs_detail::offproc_bytes(dst, src, map, /*map_src=*/true), 0,
+                 timer.seconds());
 }
 
 /// dst[i] = sum over j with map[j] == i of src[j], added onto dst
@@ -72,15 +84,29 @@ void gather_add_into(Array<T, RD>& dst, const Array<T, RS>& src,
                      const Array<index_t, RS>& map,
                      CommPattern pattern = CommPattern::GatherCombine) {
   assert(map.size() == src.size());
-  // Serial combine on the control processor keeps collisions deterministic.
-  for (index_t j = 0; j < src.size(); ++j) {
-    assert(map[j] >= 0 && map[j] < dst.size());
-    dst[map[j]] += src[j];
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    // The receiver replays the global ascending-j order, so collisions
+    // accumulate exactly as the serial combine below.
+    net::exchange_combine(
+        dst.data().data(), src.data().data(), map.data().data(), src.size(),
+        [&](index_t i) { return detail::owner_id_linear(dst, i); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); },
+        /*add=*/true);
+  } else {
+    // Serial combine on the control processor keeps collisions
+    // deterministic.
+    for (index_t j = 0; j < src.size(); ++j) {
+      assert(map[j] >= 0 && map[j] < dst.size());
+      dst[map[j]] += src[j];
+    }
   }
   flops::add(flops::Kind::AddSubMul, src.size());
   detail::record(pattern, static_cast<int>(RS), static_cast<int>(RD),
                  src.bytes(),
-                 gs_detail::offproc_bytes(src, dst, map, /*map_src=*/true));
+                 gs_detail::offproc_bytes(src, dst, map, /*map_src=*/true), 0,
+                 timer.seconds());
 }
 
 /// dst[map[j]] = src[j] (CMF "send overwrite"); on collisions the highest j
@@ -90,13 +116,25 @@ void scatter_into(Array<T, RD>& dst, const Array<T, RS>& src,
                   const Array<index_t, RS>& map,
                   CommPattern pattern = CommPattern::Scatter) {
   assert(map.size() == src.size());
-  for (index_t j = 0; j < src.size(); ++j) {
-    assert(map[j] >= 0 && map[j] < dst.size());
-    dst[map[j]] = src[j];
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    // Ascending-j replay on the receiver keeps "highest j wins" intact.
+    net::exchange_combine(
+        dst.data().data(), src.data().data(), map.data().data(), src.size(),
+        [&](index_t i) { return detail::owner_id_linear(dst, i); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); },
+        /*add=*/false);
+  } else {
+    for (index_t j = 0; j < src.size(); ++j) {
+      assert(map[j] >= 0 && map[j] < dst.size());
+      dst[map[j]] = src[j];
+    }
   }
   detail::record(pattern, static_cast<int>(RS), static_cast<int>(RD),
                  src.bytes(),
-                 gs_detail::offproc_bytes(src, dst, map, /*map_src=*/true));
+                 gs_detail::offproc_bytes(src, dst, map, /*map_src=*/true), 0,
+                 timer.seconds());
 }
 
 /// dst[map[j]] += src[j] (CMF "send with add"). One FLOP per source element.
@@ -105,14 +143,25 @@ void scatter_add_into(Array<T, RD>& dst, const Array<T, RS>& src,
                       const Array<index_t, RS>& map,
                       CommPattern pattern = CommPattern::ScatterCombine) {
   assert(map.size() == src.size());
-  for (index_t j = 0; j < src.size(); ++j) {
-    assert(map[j] >= 0 && map[j] < dst.size());
-    dst[map[j]] += src[j];
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    net::exchange_combine(
+        dst.data().data(), src.data().data(), map.data().data(), src.size(),
+        [&](index_t i) { return detail::owner_id_linear(dst, i); },
+        [&](index_t j) { return detail::owner_id_linear(src, j); },
+        /*add=*/true);
+  } else {
+    for (index_t j = 0; j < src.size(); ++j) {
+      assert(map[j] >= 0 && map[j] < dst.size());
+      dst[map[j]] += src[j];
+    }
   }
   flops::add(flops::Kind::AddSubMul, src.size());
   detail::record(pattern, static_cast<int>(RS), static_cast<int>(RD),
                  src.bytes(),
-                 gs_detail::offproc_bytes(src, dst, map, /*map_src=*/true));
+                 gs_detail::offproc_bytes(src, dst, map, /*map_src=*/true), 0,
+                 timer.seconds());
 }
 
 /// Convenience wrappers recording the Send/Get patterns the paper's tables

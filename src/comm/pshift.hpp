@@ -40,6 +40,11 @@ template <typename T, std::size_t R>
     out.emplace_back(src.shape(), src.layout(), MemKind::Temporary);
   }
 
+  // The fused sweep stays direct in both DPF_NET modes — splitting the
+  // bundle into per-shift messages would undo exactly the pipelining PSHIFT
+  // exists for. The constituent events still carry measured time.
+  detail::OpTimer timer;
+
   // Precompute normalized offsets.
   std::vector<index_t> norm(k);
   for (std::size_t s = 0; s < k; ++s) {
@@ -70,7 +75,11 @@ template <typename T, std::size_t R>
     }
   });
 
-  // Record each constituent shift; detail = 1 marks the bundled form.
+  // Record each constituent shift; detail = 1 marks the bundled form. The
+  // measured time is split evenly across the bundle (payload-once: the
+  // sweep ran once).
+  const double per_shift_seconds =
+      k > 0 ? timer.seconds() / static_cast<double>(k) : 0.0;
   const int pvp = Machine::instance().vps();
   for (std::size_t s = 0; s < k; ++s) {
     index_t offproc = 0;
@@ -83,7 +92,8 @@ template <typename T, std::size_t R>
       offproc = moved * (src.bytes() / n);
     }
     detail::record(CommPattern::CShift, static_cast<int>(R),
-                   static_cast<int>(R), src.bytes(), offproc, /*detail=*/1);
+                   static_cast<int>(R), src.bytes(), offproc, /*detail=*/1,
+                   per_shift_seconds);
   }
   return out;
 }

@@ -24,17 +24,20 @@ template <typename T, std::size_t R>
 [[nodiscard]] T reduce_sum(const Array<T, R>& a) {
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
   for_each_block(n, [&](int vp, Block b) {
     T acc{};
     for (index_t i = b.begin; i < b.end; ++i) acc += a[i];
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total{};
   for (const T& v : partial) total += v;
   flops::add_reduction(n);
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -44,18 +47,21 @@ template <typename T, std::size_t R>
   assert(a.size() == b.size());
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
   for_each_block(n, [&](int vp, Block blk) {
     T acc{};
     for (index_t i = blk.begin; i < blk.end; ++i) acc += a[i] * b[i];
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total{};
   for (const T& v : partial) total += v;
   flops::add(flops::Kind::AddSubMul, n);  // the elementwise products
   flops::add_reduction(n);
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -65,17 +71,20 @@ template <typename T, std::size_t R>
   assert(a.size() > 0);
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), a[0]);
   for_each_block(n, [&](int vp, Block b) {
     T acc = a[b.begin];
     for (index_t i = b.begin + 1; i < b.end; ++i) acc = std::max(acc, a[i]);
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total = partial[0];
   for (const T& v : partial) total = std::max(total, v);
   flops::add_reduction(n);
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -85,17 +94,20 @@ template <typename T, std::size_t R>
   assert(a.size() > 0);
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), a[0]);
   for_each_block(n, [&](int vp, Block b) {
     T acc = a[b.begin];
     for (index_t i = b.begin + 1; i < b.end; ++i) acc = std::min(acc, a[i]);
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total = partial[0];
   for (const T& v : partial) total = std::min(total, v);
   flops::add_reduction(n);
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -105,25 +117,30 @@ template <typename T, std::size_t R>
   assert(a.size() > 0);
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
   for_each_block(n, [&](int vp, Block b) {
     T acc{};
     for (index_t i = b.begin; i < b.end; ++i) acc = std::max(acc, std::abs(a[i]));
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total{};
   for (const T& v : partial) total = std::max(total, v);
   flops::add_reduction(n);
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
 /// Index of the maximum element of a rank-1 array (MAXLOC). Recorded as a
-/// Reduction; counted N-1.
+/// Reduction; counted N-1. Serial scan in both DPF_NET modes (the
+/// value+index pair is not worth a message round at these sizes).
 template <typename T>
 [[nodiscard]] index_t maxloc(const Array<T, 1>& a) {
   assert(a.size() > 0);
+  detail::OpTimer timer;
   index_t best = 0;
   for (index_t i = 1; i < a.size(); ++i) {
     if (a[i] > a[best]) best = i;
@@ -131,7 +148,8 @@ template <typename T>
   flops::add_reduction(a.size());
   const int p = Machine::instance().vps();
   detail::record(CommPattern::Reduction, 1, 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return best;
 }
 
@@ -141,17 +159,20 @@ template <typename T, std::size_t R>
 [[nodiscard]] T reduce_product(const Array<T, R>& a) {
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{1});
   for_each_block(n, [&](int vp, Block b) {
     T acc{1};
     for (index_t i = b.begin; i < b.end; ++i) acc *= a[i];
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total{1};
   for (const T& v : partial) total *= v;
   flops::add_reduction(n);
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -160,16 +181,18 @@ template <typename T, std::size_t R>
 template <std::size_t R>
 [[nodiscard]] bool any(const Array<std::uint8_t, R>& mask) {
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<std::uint8_t> partial(static_cast<std::size_t>(p), 0);
   for_each_block(mask.size(), [&](int vp, Block b) {
     std::uint8_t acc = 0;
     for (index_t i = b.begin; i < b.end && !acc; ++i) acc |= mask[i];
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   bool result = false;
   for (auto v : partial) result = result || v;
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, mask.bytes(),
-                 (p - 1));
+                 (p - 1), 0, timer.seconds());
   return result;
 }
 
@@ -177,6 +200,7 @@ template <std::size_t R>
 template <std::size_t R>
 [[nodiscard]] bool all(const Array<std::uint8_t, R>& mask) {
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<std::uint8_t> partial(static_cast<std::size_t>(p), 1);
   for_each_block(mask.size(), [&](int vp, Block b) {
     std::uint8_t acc = 1;
@@ -185,10 +209,11 @@ template <std::size_t R>
     }
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   bool result = true;
   for (auto v : partial) result = result && v;
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, mask.bytes(),
-                 (p - 1));
+                 (p - 1), 0, timer.seconds());
   return result;
 }
 
@@ -196,16 +221,19 @@ template <std::size_t R>
 template <std::size_t R>
 [[nodiscard]] index_t count_true(const Array<std::uint8_t, R>& mask) {
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<index_t> partial(static_cast<std::size_t>(p), 0);
   for_each_block(mask.size(), [&](int vp, Block b) {
     index_t acc = 0;
     for (index_t i = b.begin; i < b.end; ++i) acc += (mask[i] != 0);
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   index_t total = 0;
   for (index_t v : partial) total += v;
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, mask.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(index_t)));
+                 (p - 1) * static_cast<index_t>(sizeof(index_t)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -219,6 +247,7 @@ template <typename T, std::size_t R>
   assert(mask.size() == a.size());
   const index_t n = a.size();
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
   for_each_block(n, [&](int vp, Block b) {
     T acc{};
@@ -227,11 +256,13 @@ template <typename T, std::size_t R>
     }
     partial[static_cast<std::size_t>(vp)] = acc;
   });
+  detail::share_partials(partial);
   T total{};
   for (const T& v : partial) total += v;
   flops::add_reduction(n);  // full-array count per HPF semantics
   detail::record(CommPattern::Reduction, static_cast<int>(R), 0, a.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
   return total;
 }
 
@@ -249,6 +280,9 @@ void reduce_axis_sum_into(Array<T, R - 1>& dst, const Array<T, R>& src,
   const index_t outer = src.size() / (n * inner);
   assert(dst.size() == outer * inner);
 
+  // Stays direct in both DPF_NET modes: each output element folds along the
+  // reduced axis locally, so there is no cross-VP combine to reformulate.
+  detail::OpTimer timer;
   parallel_range(outer * inner, [&](index_t lo, index_t hi) {
     for (index_t oi = lo; oi < hi; ++oi) {
       const index_t o = oi / inner;
@@ -265,7 +299,8 @@ void reduce_axis_sum_into(Array<T, R - 1>& dst, const Array<T, R>& src,
                  static_cast<int>(R - 1), src.bytes(),
                  src.layout().distributed_axis() == axis
                      ? (p - 1) * dst.bytes() / std::max<index_t>(p, 1)
-                     : 0);
+                     : 0,
+                 0, timer.seconds());
 }
 
 /// Returns the axis sum-reduction as a library temporary (all-parallel

@@ -24,6 +24,7 @@ void scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
   const index_t n = src.size();
   if (n == 0) return;
   const int p = Machine::instance().vps();
+  detail::OpTimer timer;
   std::vector<T> block_total(static_cast<std::size_t>(p), T{});
 
   for_each_block(n, [&](int vp, Block b) {
@@ -34,6 +35,10 @@ void scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
     }
     block_total[static_cast<std::size_t>(vp)] = acc;
   });
+  // Under DPF_NET=algorithmic the block totals travel the transport
+  // allgather; the copies are bit-exact, so the exclusive prefix below (and
+  // therefore the scan) is unchanged.
+  detail::share_partials(block_total);
   // Exclusive prefix of the block totals.
   std::vector<T> offset(static_cast<std::size_t>(p), T{});
   for (int vp = 1; vp < p; ++vp) {
@@ -57,7 +62,8 @@ void scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
   }
   flops::add_reduction(n);
   detail::record(CommPattern::Scan, 1, 1, src.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)));
+                 (p - 1) * static_cast<index_t>(sizeof(T)), 0,
+                 timer.seconds());
 }
 
 /// Returns the inclusive sum scan as a library temporary.
@@ -78,6 +84,9 @@ void segmented_scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
                              const Array<std::uint8_t, 1>& seg_start) {
   assert(dst.size() == src.size() && seg_start.size() == src.size());
   const index_t n = src.size();
+  // Serial in both DPF_NET modes: the data-dependent segment restarts make
+  // a message formulation pointless at our sizes.
+  detail::OpTimer timer;
   T acc{};
   for (index_t i = 0; i < n; ++i) {
     if (seg_start[i]) acc = T{};
@@ -87,7 +96,8 @@ void segmented_scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
   flops::add_reduction(n);
   const int p = Machine::instance().vps();
   detail::record(CommPattern::Scan, 1, 1, src.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/1);
+                 (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/1,
+                 timer.seconds());
 }
 
 /// Segmented copy scan: every element takes the value at the start of its
@@ -98,6 +108,7 @@ void segmented_copy_scan_into(Array<T, 1>& dst, const Array<T, 1>& src,
                               const Array<std::uint8_t, 1>& seg_start) {
   assert(dst.size() == src.size() && seg_start.size() == src.size());
   const index_t n = src.size();
+  detail::OpTimer timer;
   T cur{};
   for (index_t i = 0; i < n; ++i) {
     if (i == 0 || seg_start[i]) cur = src[i];
@@ -105,7 +116,8 @@ void segmented_copy_scan_into(Array<T, 1>& dst, const Array<T, 1>& src,
   }
   const int p = Machine::instance().vps();
   detail::record(CommPattern::Scan, 1, 1, src.bytes(),
-                 (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/2);
+                 (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/2,
+                 timer.seconds());
 }
 
 /// Sum scan along `axis` of a rank-R array (scans each line independently).
@@ -120,6 +132,8 @@ void scan_sum_axis_into(Array<T, R>& dst, const Array<T, R>& src,
   const index_t inner = st;
   const index_t outer = src.size() / (n * inner);
 
+  // Each line scans locally along the (serial) axis; direct in both modes.
+  detail::OpTimer timer;
   parallel_range(outer * inner, [&](index_t lo, index_t hi) {
     for (index_t oi = lo; oi < hi; ++oi) {
       const index_t o = oi / inner;
@@ -138,7 +152,8 @@ void scan_sum_axis_into(Array<T, R>& dst, const Array<T, R>& src,
                  src.bytes(),
                  src.layout().distributed_axis() == axis
                      ? (p - 1) * static_cast<index_t>(sizeof(T)) * outer * inner
-                     : 0);
+                     : 0,
+                 0, timer.seconds());
 }
 
 }  // namespace dpf::comm

@@ -26,6 +26,10 @@ void sort_permutation_into(Array<index_t, 1>& perm, const Array<T, 1>& keys) {
   assert(perm.size() == n);
   const int p = Machine::instance().vps();
 
+  // Sorts stay direct in both DPF_NET modes: the merge rounds already run
+  // on the control processor, so a sample-sort reformulation would change
+  // the comparison order and break bit-identity for equal keys.
+  detail::OpTimer timer;
   std::vector<index_t> idx(static_cast<std::size_t>(n));
   std::iota(idx.begin(), idx.end(), index_t{0});
 
@@ -54,7 +58,7 @@ void sort_permutation_into(Array<index_t, 1>& perm, const Array<T, 1>& keys) {
 
   for (index_t i = 0; i < n; ++i) perm[i] = idx[static_cast<std::size_t>(i)];
   detail::record(CommPattern::Sort, 1, 1, keys.bytes(),
-                 p > 1 ? keys.bytes() * (p - 1) / p : 0);
+                 p > 1 ? keys.bytes() * (p - 1) / p : 0, 0, timer.seconds());
 }
 
 /// Returns the sorting permutation as a library temporary.
@@ -70,6 +74,7 @@ template <typename T>
 void sort_values(Array<T, 1>& a) {
   const int p = Machine::instance().vps();
   const index_t n = a.size();
+  detail::OpTimer timer;
   T* base = a.data().data();
   for_each_block(n, [&](int /*vp*/, Block b) {
     std::sort(base + b.begin, base + b.end);
@@ -89,7 +94,7 @@ void sort_values(Array<T, 1>& a) {
     bounds = std::move(next);
   }
   detail::record(CommPattern::Sort, 1, 1, a.bytes(),
-                 p > 1 ? a.bytes() * (p - 1) / p : 0);
+                 p > 1 ? a.bytes() * (p - 1) / p : 0, 0, timer.seconds());
 }
 
 }  // namespace dpf::comm

@@ -33,6 +33,10 @@ void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
   assert(dst.shape() == src.shape());
   const auto& ext = src.shape().extents();
   const auto strides = src.shape().strides();
+  // Stencils stay direct in both DPF_NET modes: `fn` reads src through an
+  // opaque functor, so there is no index map to reformulate as messages —
+  // the cost model instead charges the halo volume.
+  detail::OpTimer timer;
 
   // Interior extents and their row-major divisors.
   std::array<index_t, R> iext{};
@@ -102,7 +106,8 @@ void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
     }
   }
   detail::record(CommPattern::Stencil, static_cast<int>(R),
-                 static_cast<int>(R), src.bytes(), offproc, points);
+                 static_cast<int>(R), src.bytes(), offproc, points,
+                 timer.seconds());
 }
 
 /// Records a Stencil event without moving data — used when a stencil is

@@ -20,24 +20,34 @@ void transpose_into(Array<T, 2>& dst, const Array<T, 2>& src) {
   const index_t m = src.extent(1);
   assert(dst.extent(0) == m && dst.extent(1) == n);
 
-  // Cache-blocked transpose, parallel over destination row blocks.
-  constexpr index_t kTile = 32;
-  parallel_range(m, [&](index_t lo, index_t hi) {
-    for (index_t i0 = lo; i0 < hi; i0 += kTile) {
-      const index_t i1 = std::min(i0 + kTile, hi);
-      for (index_t j0 = 0; j0 < n; j0 += kTile) {
-        const index_t j1 = std::min(j0 + kTile, n);
-        for (index_t i = i0; i < i1; ++i) {
-          for (index_t j = j0; j < j1; ++j) dst(i, j) = src(j, i);
+  const int p = Machine::instance().vps();
+  detail::OpTimer timer;
+  if (net::algorithmic() && p > 1) {
+    // Pairwise-exchange AAPC: dst element i*n + j pulls src element j*m + i.
+    net::exchange(
+        dst.data().data(), dst.size(), src.data().data(),
+        [=](index_t L) { return (L % n) * m + L / n; },
+        [&](index_t L) { return detail::owner_id_linear(dst, L); },
+        [&](index_t J) { return detail::owner_id_linear(src, J); });
+  } else {
+    // Cache-blocked transpose, parallel over destination row blocks.
+    constexpr index_t kTile = 32;
+    parallel_range(m, [&](index_t lo, index_t hi) {
+      for (index_t i0 = lo; i0 < hi; i0 += kTile) {
+        const index_t i1 = std::min(i0 + kTile, hi);
+        for (index_t j0 = 0; j0 < n; j0 += kTile) {
+          const index_t j1 = std::min(j0 + kTile, n);
+          for (index_t i = i0; i < i1; ++i) {
+            for (index_t j = j0; j < j1; ++j) dst(i, j) = src(j, i);
+          }
         }
       }
-    }
-  });
+    });
+  }
 
   // Off-processor volume: element (j,i) of src lands at (i,j) of dst;
   // owners are compared under each array's own layout (grids included).
   index_t offproc = 0;
-  const int p = Machine::instance().vps();
   if (p > 1) {
     const index_t eb = static_cast<index_t>(sizeof(T));
     for (index_t j = 0; j < n; ++j) {
@@ -48,7 +58,8 @@ void transpose_into(Array<T, 2>& dst, const Array<T, 2>& src) {
       }
     }
   }
-  detail::record(CommPattern::AAPC, 2, 2, src.bytes(), offproc);
+  detail::record(CommPattern::AAPC, 2, 2, src.bytes(), offproc, 0,
+                 timer.seconds());
 }
 
 /// Returns the transpose as a library temporary.

@@ -61,6 +61,20 @@ index_t CommLog::total_bytes() const {
   return n;
 }
 
+double CommLog::measured_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double s = 0.0;
+  for (const CommEvent& e : events_) s += e.seconds;
+  return s;
+}
+
+double CommLog::predicted_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double s = 0.0;
+  for (const CommEvent& e : events_) s += e.predicted_seconds;
+  return s;
+}
+
 void CommLog::set_enabled(bool enabled) {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_ = enabled;
@@ -74,7 +88,9 @@ bool CommLog::enabled() const {
 bool CommLog::dump_csv(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "seq,pattern,src_rank,dst_rank,bytes,offproc_bytes,detail\n");
+  std::fprintf(f,
+               "seq,pattern,src_rank,dst_rank,bytes,offproc_bytes,detail,"
+               "seconds,predicted_seconds,hops\n");
   std::vector<CommEvent> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,11 +98,12 @@ bool CommLog::dump_csv(const std::string& path) const {
   }
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     const CommEvent& e = snapshot[i];
-    std::fprintf(f, "%zu,%s,%d,%d,%lld,%lld,%lld\n", i,
+    std::fprintf(f, "%zu,%s,%d,%d,%lld,%lld,%lld,%.9f,%.9f,%d\n", i,
                  std::string(to_string(e.pattern)).c_str(), e.src_rank,
                  e.dst_rank, static_cast<long long>(e.bytes),
                  static_cast<long long>(e.offproc_bytes),
-                 static_cast<long long>(e.detail));
+                 static_cast<long long>(e.detail), e.seconds,
+                 e.predicted_seconds, e.hops);
   }
   std::fclose(f);
   return true;

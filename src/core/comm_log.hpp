@@ -64,13 +64,23 @@ enum class CommPattern : std::uint8_t {
 }
 
 /// One recorded collective operation.
+///
+/// Payload accounting rule: `bytes` counts the logical payload of the
+/// operation exactly once, even when the source and destination arrays share
+/// a backing store (an in-place exchange) or when the realizing path stages
+/// the data through transport mailboxes or library temporaries. Staging
+/// copies are transport-level traffic (see net::Transport stats), not
+/// additional comm events.
 struct CommEvent {
   CommPattern pattern{};
   int src_rank = 0;       ///< rank of the source array (0 = scalar)
   int dst_rank = 0;       ///< rank of the destination array
-  index_t bytes = 0;      ///< payload bytes touched by the operation
+  index_t bytes = 0;      ///< payload bytes touched by the operation (once)
   index_t offproc_bytes = 0;  ///< bytes crossing a VP boundary under the layout
   index_t detail = 0;     ///< pattern-specific detail (e.g. stencil points)
+  double seconds = 0.0;   ///< measured wall time of the primitive (0 = untimed)
+  double predicted_seconds = 0.0;  ///< fat-tree cost-model prediction
+  int hops = 0;           ///< characteristic fat-tree hop count of the pattern
 };
 
 /// Key used when aggregating events for the pattern-inventory tables.
@@ -108,14 +118,20 @@ class CommLog {
   /// Total payload bytes since the last reset.
   [[nodiscard]] index_t total_bytes() const;
 
+  /// Sum of measured primitive wall times since the last reset (seconds).
+  [[nodiscard]] double measured_seconds() const;
+
+  /// Sum of cost-model predictions since the last reset (seconds).
+  [[nodiscard]] double predicted_seconds() const;
+
   /// Enables/disables recording (used to exclude warm-up/setup phases).
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;
 
   /// Writes every recorded event as CSV (header + one row per event:
-  /// sequence, pattern, src_rank, dst_rank, bytes, offproc_bytes, detail)
-  /// for offline analysis of a benchmark's communication trace. Returns
-  /// false if the file could not be opened.
+  /// sequence, pattern, src_rank, dst_rank, bytes, offproc_bytes, detail,
+  /// seconds, predicted_seconds, hops) for offline analysis of a benchmark's
+  /// communication trace. Returns false if the file could not be opened.
   [[nodiscard]] bool dump_csv(const std::string& path) const;
 
  private:

@@ -72,6 +72,7 @@ void Machine::configure(int vps) {
                : std::max<index_t>(1, vps_ / (workers_ * 8));
   busy_.assign(static_cast<std::size_t>(workers_), BusySlot{});
   start_pool();
+  if (reconfigure_hook_ != nullptr) reconfigure_hook_(vps_);
 }
 
 void Machine::start_pool() {
@@ -161,6 +162,7 @@ void Machine::spmd_raw(RegionFn fn, void* ctx) {
     ~RegionGuard() { flag.store(false, std::memory_order_release); }
   } guard{in_region_};
 
+  region_serial_.fetch_add(1, std::memory_order_relaxed);
   cursor_.store(0, std::memory_order_relaxed);
   if (workers_ == 1) {
     // Single-worker fast path: a plain inline loop, no handshake at all.

@@ -45,6 +45,11 @@ class Machine {
   /// std::function<void(int)> — one indirect call, no allocation.
   using RegionFn = void (*)(void* ctx, int vp);
 
+  /// Called after every reconfigure() with the new VP count, so subsystems
+  /// keyed to the VP grid (e.g. the dpf::net transport mailboxes) can resize
+  /// without core depending on them.
+  using ReconfigureHook = void (*)(int vps);
+
   /// Global machine instance. First access constructs a machine with
   /// `default_vps()` virtual processors.
   static Machine& instance();
@@ -95,6 +100,23 @@ class Machine {
   /// Default VP count: DPF_VPS environment variable if set, else 4.
   [[nodiscard]] static int default_vps();
 
+  /// Serial number of the last top-level SPMD region started (nested inline
+  /// regions do not count). Region boundaries are the machine's only global
+  /// barriers; the transport layer uses this counter to enforce that a
+  /// mailbox posted in one region is fetched only in a later one.
+  [[nodiscard]] std::uint64_t region_serial() const {
+    return region_serial_.load(std::memory_order_relaxed);
+  }
+
+  /// True while a top-level SPMD region is executing on this machine.
+  [[nodiscard]] bool inside_region() const {
+    return in_region_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs the reconfigure hook (one slot; pass nullptr to clear). The
+  /// hook runs on the configuring thread after the new pool is live.
+  void set_reconfigure_hook(ReconfigureHook hook) { reconfigure_hook_ = hook; }
+
  private:
   Machine();
   void start_pool();
@@ -121,6 +143,8 @@ class Machine {
   void* ctx_ = nullptr;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> in_region_{false};
+  std::atomic<std::uint64_t> region_serial_{0};
+  ReconfigureHook reconfigure_hook_ = nullptr;
 
   // --- park/wake slow path ---------------------------------------------
   std::mutex mu_;

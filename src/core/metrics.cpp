@@ -55,6 +55,11 @@ std::string format_metrics(const std::string& label, const Metrics& m) {
      << "  FLOP count             : " << m.flop_count << "\n"
      << "  memory usage (bytes)   : " << m.memory_bytes << "\n"
      << "  communication ops      : " << m.comm_op_count() << "\n";
+  os.precision(6);
+  os << "  comm time (sec.)       : " << m.comm_seconds() << "\n";
+  if (m.predicted_comm_seconds() > 0.0) {
+    os << "  predicted comm (sec.)  : " << m.predicted_comm_seconds() << "\n";
+  }
   return os.str();
 }
 

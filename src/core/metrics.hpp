@@ -47,6 +47,22 @@ struct Metrics {
     return static_cast<index_t>(comm_events.size());
   }
 
+  /// Measured communication time: sum of the per-primitive wall times of
+  /// every recorded event (0 contributions from untimed events).
+  [[nodiscard]] double comm_seconds() const {
+    double s = 0.0;
+    for (const CommEvent& e : comm_events) s += e.seconds;
+    return s;
+  }
+
+  /// Predicted communication time under the net::CostModel fat-tree model
+  /// (0 until the model has been calibrated).
+  [[nodiscard]] double predicted_comm_seconds() const {
+    double s = 0.0;
+    for (const CommEvent& e : comm_events) s += e.predicted_seconds;
+    return s;
+  }
+
   [[nodiscard]] std::map<CommKey, index_t> comm_counts() const {
     std::map<CommKey, index_t> out;
     for (const CommEvent& e : comm_events) {

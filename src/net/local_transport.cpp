@@ -1,0 +1,71 @@
+#include "net/local_transport.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "core/machine.hpp"
+
+namespace dpf::net {
+
+void LocalTransport::resize(int endpoints) {
+  if (endpoints < 1) endpoints = 1;
+  p_ = endpoints;
+  boxes_.assign(
+      static_cast<std::size_t>(p_) * static_cast<std::size_t>(p_), Mailbox{});
+  pending_.store(0, std::memory_order_relaxed);
+}
+
+void LocalTransport::post(int src, int dst, std::uint64_t tag,
+                          const void* data, std::size_t bytes) {
+  assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  Mailbox& mb = box(src, dst);
+  Slot s;
+  s.tag = tag;
+  s.epoch = Machine::instance().region_serial();
+  s.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(s.payload.data(), data, bytes);
+  mb.slots.push_back(std::move(s));
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool LocalTransport::try_fetch(int dst, int src, std::uint64_t tag, void* data,
+                               std::size_t bytes) {
+  assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  Mailbox& mb = box(src, dst);
+  for (std::size_t i = 0; i < mb.slots.size(); ++i) {
+    if (mb.slots[i].tag != tag) continue;
+    // Phase discipline: the posting region must have ended before the
+    // fetching region started (see transport.hpp).
+    assert(mb.slots[i].epoch != Machine::instance().region_serial() ||
+           !Machine::instance().inside_region());
+    assert(mb.slots[i].payload.size() == bytes);
+    if (bytes > 0) std::memcpy(data, mb.slots[i].payload.data(), bytes);
+    mb.slots.erase(mb.slots.begin() + static_cast<std::ptrdiff_t>(i));
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::ptrdiff_t LocalTransport::probe(int dst, int src,
+                                     std::uint64_t tag) const {
+  assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  const Mailbox& mb =
+      boxes_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(p_) +
+             static_cast<std::size_t>(src)];
+  for (const Slot& s : mb.slots) {
+    if (s.tag == tag) return static_cast<std::ptrdiff_t>(s.payload.size());
+  }
+  return -1;
+}
+
+void LocalTransport::reset() {
+  for (Mailbox& mb : boxes_) mb.slots.clear();
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  pending_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dpf::net

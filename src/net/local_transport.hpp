@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file local_transport.hpp
+/// In-process shared-memory Transport backend.
+///
+/// One mailbox per ordered VP pair (dst * P + src). Within any single SPMD
+/// region a mailbox has at most one writer (VP src, posting) or one reader
+/// (VP dst, fetching) — never both, because the phase discipline forbids
+/// fetching a message in its posting region. Mailbox access is therefore
+/// lock-free: the happens-before edge between the posting and fetching
+/// regions is the machine's region barrier. Stats counters are atomics since
+/// all VPs post concurrently inside one region.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace dpf::net {
+
+class LocalTransport final : public Transport {
+ public:
+  explicit LocalTransport(int endpoints = 1) { resize(endpoints); }
+
+  [[nodiscard]] int endpoints() const override { return p_; }
+
+  void resize(int endpoints) override;
+
+  void post(int src, int dst, std::uint64_t tag, const void* data,
+            std::size_t bytes) override;
+
+  bool try_fetch(int dst, int src, std::uint64_t tag, void* data,
+                 std::size_t bytes) override;
+
+  [[nodiscard]] std::ptrdiff_t probe(int dst, int src,
+                                     std::uint64_t tag) const override;
+
+  [[nodiscard]] std::uint64_t pending() const override {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  void reset() override;
+
+  [[nodiscard]] const char* name() const override { return "local"; }
+
+  [[nodiscard]] TransportStats stats() const override {
+    return {messages_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  /// One posted message. `epoch` is the region serial at post time, used to
+  /// assert the posting and fetching regions differ.
+  struct Slot {
+    std::uint64_t tag = 0;
+    std::uint64_t epoch = 0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Mailbox of one ordered (src -> dst) pair; slots are fetched FIFO per
+  /// tag. Kept cache-line padded so neighbouring pairs do not false-share.
+  struct alignas(64) Mailbox {
+    std::vector<Slot> slots;
+  };
+
+  [[nodiscard]] Mailbox& box(int src, int dst) {
+    return boxes_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(p_) +
+                  static_cast<std::size_t>(src)];
+  }
+
+  int p_ = 0;
+  std::vector<Mailbox> boxes_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+}  // namespace dpf::net

@@ -1,0 +1,67 @@
+#include "net/net.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/machine.hpp"
+#include "net/cost_model.hpp"
+#include "net/local_transport.hpp"
+
+namespace dpf::net {
+namespace {
+
+std::atomic<std::uint64_t> tag_counter{1};
+
+LocalTransport& local_transport() {
+  static LocalTransport t(Machine::instance().vps());
+  return t;
+}
+
+void reconfigure_hook(int vps) { local_transport().resize(vps); }
+
+}  // namespace
+
+Mode mode() {
+  const char* s = std::getenv("DPF_NET");
+  if (s != nullptr && std::strcmp(s, "algorithmic") == 0) {
+    return Mode::Algorithmic;
+  }
+  return Mode::Direct;
+}
+
+Transport& transport() {
+  LocalTransport& t = local_transport();
+  static bool hook_installed = [] {
+    Machine::instance().set_reconfigure_hook(&reconfigure_hook);
+    return true;
+  }();
+  (void)hook_installed;
+  // The machine may have been reconfigured before the hook existed.
+  if (t.endpoints() != Machine::instance().vps()) {
+    t.resize(Machine::instance().vps());
+  }
+  return t;
+}
+
+std::uint64_t next_tag() {
+  return tag_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_tags(std::uint64_t count) {
+  return tag_counter.fetch_add(count, std::memory_order_relaxed);
+}
+
+void annotate(CommEvent& e) {
+  Machine& m = Machine::instance();
+  const int p = m.vps();
+  CostModel& model = CostModel::instance();
+  e.hops = static_cast<int>(model.pattern_hops(e.pattern, p) + 0.5);
+  if (model.calibrated()) {
+    e.predicted_seconds = model.predict(e, p, m.workers(), algorithmic());
+  }
+}
+
+void calibrate(bool force) { CostModel::instance().calibrate(force); }
+
+}  // namespace dpf::net

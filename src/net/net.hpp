@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file net.hpp
+/// Front door of the dpf::net interconnect subsystem.
+///
+/// Selects between the two formulations of every collective:
+///
+///   DPF_NET=direct       shared-memory data motion (the default)
+///   DPF_NET=algorithmic  message-passing over the Transport mailboxes
+///
+/// Both produce bit-identical results and identical CommEvent records; the
+/// algorithmic path additionally drives real per-VP messages through the
+/// transport, which is what the microbenchmarks and the fat-tree cost model
+/// calibrate against.
+
+#include <cstdint>
+
+#include "core/comm_log.hpp"
+#include "net/transport.hpp"
+
+namespace dpf::net {
+
+enum class Mode { Direct, Algorithmic };
+
+/// Current mode from the DPF_NET environment variable (read per call so
+/// tests can flip it between collectives).
+[[nodiscard]] Mode mode();
+
+/// True when the message-passing formulations are selected.
+[[nodiscard]] inline bool algorithmic() { return mode() == Mode::Algorithmic; }
+
+/// The process-wide transport, sized to the machine's VP grid. First use
+/// installs the Machine reconfigure hook so the mailboxes resize (dropping
+/// stale messages) whenever the VP count changes.
+[[nodiscard]] Transport& transport();
+
+/// Allocates a fresh message tag (control thread only — collectives reserve
+/// their tags before entering the posting region).
+[[nodiscard]] std::uint64_t next_tag();
+
+/// Reserves `count` consecutive tags and returns the first.
+[[nodiscard]] std::uint64_t next_tags(std::uint64_t count);
+
+/// Annotates an event with its fat-tree hop count and, once the cost model
+/// has been calibrated, the predicted transfer time. Called by the comm
+/// recording shim for every event.
+void annotate(CommEvent& e);
+
+/// Calibrates the cost model (idempotent; `force` re-runs the probes).
+/// Control thread only.
+void calibrate(bool force = false);
+
+}  // namespace dpf::net

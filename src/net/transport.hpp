@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file transport.hpp
+/// The interconnect transport abstraction of dpf::net.
+///
+/// A Transport connects the machine's virtual processors through per-pair
+/// mailboxes. The message discipline mirrors a phase-based message-passing
+/// machine built on the SPMD engine:
+///
+///   * post(src, dst, ...) is called by VP `src` inside one SPMD region;
+///   * fetch(dst, src, ...) is called by VP `dst` in a *later* region.
+///
+/// Region boundaries are the machine's only global barriers, so a message
+/// posted in region k is guaranteed visible to its receiver in region k+1
+/// (the generation-counter handshake of the dispatch protocol provides the
+/// happens-before edge). Posting and fetching the same message inside one
+/// region is a protocol violation; LocalTransport asserts against it using
+/// Machine::region_serial().
+///
+/// The interface is deliberately free of shared-memory assumptions — a
+/// future multi-process or socket backend implements the same five entry
+/// points and slots in without touching any collective.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace dpf::net {
+
+/// Aggregate traffic counters of a transport since the last reset().
+struct TransportStats {
+  std::uint64_t messages = 0;  ///< messages posted
+  std::uint64_t bytes = 0;     ///< payload bytes posted
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of communication endpoints (one per VP).
+  [[nodiscard]] virtual int endpoints() const = 0;
+
+  /// Resizes the endpoint grid (drops all pending messages). Called from
+  /// the control thread, never from inside an SPMD region.
+  virtual void resize(int endpoints) = 0;
+
+  /// Posts `bytes` bytes from `data` into the (src -> dst) mailbox under
+  /// `tag`. Called by VP `src` inside an SPMD region; the payload is copied.
+  virtual void post(int src, int dst, std::uint64_t tag, const void* data,
+                    std::size_t bytes) = 0;
+
+  /// Fetches the message posted under `tag` in the (src -> dst) mailbox
+  /// into `data` (capacity `bytes`; must match the posted size). Returns
+  /// false if no such message is pending. Called by VP `dst` in a region
+  /// after the posting region.
+  virtual bool try_fetch(int dst, int src, std::uint64_t tag, void* data,
+                         std::size_t bytes) = 0;
+
+  /// Payload size in bytes of the pending (src -> dst, tag) message, or -1
+  /// if none is pending — the receiver-side size discovery (MPI_Probe).
+  [[nodiscard]] virtual std::ptrdiff_t probe(int dst, int src,
+                                             std::uint64_t tag) const = 0;
+
+  /// Number of posted-but-unfetched messages (all mailboxes).
+  [[nodiscard]] virtual std::uint64_t pending() const = 0;
+
+  /// Drops all pending messages and zeroes the stats.
+  virtual void reset() = 0;
+
+  /// Backend name for reports ("local", "socket", ...).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Traffic counters since the last reset().
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+};
+
+}  // namespace dpf::net

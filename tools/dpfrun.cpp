@@ -6,20 +6,28 @@
 ///   dpfrun info <benchmark>
 ///   dpfrun run <benchmark> [--version=basic|optimized|library|cmssl|cdpeac]
 ///                          [--vps=N] [--set key=value ...]
-///                          [--trace=FILE.csv]
+///                          [--trace=FILE.csv] [--report comm]
+///
+/// `--report comm` calibrates the fat-tree cost model before the run and
+/// prints a per-pattern table of counts, bytes, VP-crossing bytes and
+/// measured vs predicted communication time. Combine with DPF_NET=algorithmic
+/// to price the message-passing formulations.
 ///
 /// Examples:
 ///   dpfrun run conj-grad --set n=4096 --version=optimized
 ///   dpfrun run fft --set n=1024 --set dims=2 --vps=8
+///   DPF_NET=algorithmic dpfrun run transpose --vps=16 --report comm
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/machine.hpp"
 #include "core/registry.hpp"
+#include "net/net.hpp"
 #include "suite/register_all.hpp"
 
 namespace {
@@ -96,10 +104,21 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   }
   RunConfig cfg;
   std::string trace_path;
+  bool report_comm = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
+    } else if (a.rfind("--report=", 0) == 0 ||
+               (a == "--report" && i + 1 < args.size())) {
+      const std::string what =
+          a == "--report" ? args[++i] : a.substr(9);
+      if (what != "comm") {
+        std::fprintf(stderr, "unknown report '%s' (supported: comm)\n",
+                     what.c_str());
+        return 2;
+      }
+      report_comm = true;
     } else if (a.rfind("--version=", 0) == 0) {
       if (!parse_version(a.substr(10), cfg.version)) {
         std::fprintf(stderr, "bad version '%s'\n", a.c_str());
@@ -127,6 +146,10 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
                  name.c_str(), std::string(to_string(cfg.version)).c_str());
   }
 
+  // Calibrate the cost model before the run so every recorded event carries
+  // a prediction alongside its measured time.
+  if (report_comm) net::calibrate();
+
   if (!trace_path.empty()) CommLog::instance().reset();
   const auto r = def->run_with_defaults(cfg);
   if (!trace_path.empty()) {
@@ -148,11 +171,55 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   for (const auto& [k, v] : r.checks) {
     std::printf("  %-22s %.8g\n", k.c_str(), v);
   }
-  std::printf("\ncommunication (pattern, src rank -> dst rank: count):\n");
-  for (const auto& [key, count] : r.metrics.comm_counts()) {
-    std::printf("  %-20s %d -> %d: %lld\n",
-                std::string(to_string(key.pattern)).c_str(), key.src_rank,
-                key.dst_rank, static_cast<long long>(count));
+  if (report_comm) {
+    struct Agg {
+      long long count = 0;
+      long long bytes = 0;
+      long long offproc = 0;
+      double seconds = 0.0;
+      double predicted = 0.0;
+    };
+    std::map<CommKey, Agg> table;
+    for (const CommEvent& e : r.metrics.comm_events) {
+      Agg& a = table[CommKey{e.pattern, e.src_rank, e.dst_rank}];
+      ++a.count;
+      a.bytes += e.bytes;
+      a.offproc += e.offproc_bytes;
+      a.seconds += e.seconds;
+      a.predicted += e.predicted_seconds;
+    }
+    std::printf(
+        "\ncommunication report (DPF_NET=%s, transport %s, %d VPs):\n",
+        net::algorithmic() ? "algorithmic" : "direct",
+        net::transport().name(), Machine::instance().vps());
+    std::printf("  %-20s %5s %8s %12s %12s %12s %12s\n", "pattern", "ranks",
+                "count", "bytes", "offproc B", "measured s", "predicted s");
+    Agg total;
+    for (const auto& [key, a] : table) {
+      std::printf("  %-20s %2d->%-2d %8lld %12lld %12lld %12.6f %12.6f\n",
+                  std::string(to_string(key.pattern)).c_str(), key.src_rank,
+                  key.dst_rank, a.count, a.bytes, a.offproc, a.seconds,
+                  a.predicted);
+      total.count += a.count;
+      total.bytes += a.bytes;
+      total.offproc += a.offproc;
+      total.seconds += a.seconds;
+      total.predicted += a.predicted;
+    }
+    std::printf("  %-20s %5s %8lld %12lld %12lld %12.6f %12.6f\n", "total",
+                "", total.count, total.bytes, total.offproc, total.seconds,
+                total.predicted);
+    if (total.seconds > 0.0 && total.predicted > 0.0) {
+      std::printf("  predicted/measured     : %.2fx\n",
+                  total.predicted / total.seconds);
+    }
+  } else {
+    std::printf("\ncommunication (pattern, src rank -> dst rank: count):\n");
+    for (const auto& [key, count] : r.metrics.comm_counts()) {
+      std::printf("  %-20s %d -> %d: %lld\n",
+                  std::string(to_string(key.pattern)).c_str(), key.src_rank,
+                  key.dst_rank, static_cast<long long>(count));
+    }
   }
   const auto it = r.checks.find("residual");
   return (it != r.checks.end() && it->second > 1e-3) ? 1 : 0;
