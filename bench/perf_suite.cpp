@@ -9,15 +9,35 @@
 /// Besides the human-readable table, the suite emits machine-readable
 /// results to BENCH_perf.json (override the path with DPF_BENCH_JSON or
 /// argv[1]) so the perf trajectory across PRs is diffable.
+///
+/// `--smoke` runs one representative benchmark per group — a fast CI
+/// smoke of the whole metric pipeline. When DPF_TRACE is enabled the run
+/// additionally writes a Chrome trace-event timeline (DPF_TRACE_JSON, or
+/// BENCH_trace.json next to the perf JSON) and prints the per-worker
+/// trace summary.
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/table_common.hpp"
 #include "core/machine.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/summary.hpp"
+#include "trace/trace.hpp"
 
 namespace {
+
+// One fast benchmark per group for --smoke.
+constexpr const char* kSmokeSet[] = {"reduction", "lu", "diff-1D"};
+
+bool in_smoke_set(const std::string& name) {
+  for (const char* s : kSmokeSet) {
+    if (name == s) return true;
+  }
+  return false;
+}
 
 struct Row {
   std::string name;
@@ -74,9 +94,19 @@ void write_json(const std::string& path, int vps, double peak,
 int main(int argc, char** argv) {
   dpf::register_all_benchmarks();
   using namespace dpf;
+  bool smoke = false;
+  const char* path_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      path_arg = argv[i];
+    }
+  }
   const double peak = Machine::instance().peak_mflops();
   std::printf("machine: %d virtual processors, calibrated peak %.1f MFLOPS\n",
               Machine::instance().vps(), peak);
+  if (trace::mode() != trace::Mode::Off) trace::reset();
 
   bench::title("DPF performance metrics (section 1.5)");
   std::printf("%-20s %10s %10s %10s %10s %12s %10s %7s\n", "benchmark",
@@ -88,6 +118,7 @@ int main(int argc, char** argv) {
   for (Group g : {Group::Communication, Group::LinearAlgebra,
                   Group::Application}) {
     for (const auto* def : Registry::instance().by_group(g)) {
+      if (smoke && !in_smoke_set(def->name)) continue;
       const auto r = def->run_with_defaults(RunConfig{});
       const auto& m = r.metrics;
       const bool la = g == Group::LinearAlgebra;
@@ -114,7 +145,19 @@ int main(int argc, char** argv) {
 
   std::string json_path = "BENCH_perf.json";
   if (const char* env = std::getenv("DPF_BENCH_JSON")) json_path = env;
-  if (argc > 1) json_path = argv[1];
+  if (path_arg != nullptr) json_path = path_arg;
   write_json(json_path, Machine::instance().vps(), peak, rows);
+
+  // With tracing enabled, export the whole run's timeline and print the
+  // per-worker summary so CI artifacts carry a loadable trace.
+  if (trace::mode() != trace::Mode::Off) {
+    const auto snap = trace::collect();
+    std::string trace_path = "BENCH_trace.json";
+    if (const char* env = std::getenv("DPF_TRACE_JSON")) trace_path = env;
+    if (trace::write_chrome_trace(trace_path, snap)) {
+      std::printf("wrote %s (open in Perfetto)\n", trace_path.c_str());
+    }
+    std::printf("\n%s", trace::format_trace_summary(snap).c_str());
+  }
   return 0;
 }

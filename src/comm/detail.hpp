@@ -16,7 +16,11 @@
 namespace dpf::comm::detail {
 
 /// Wall-clock timer for one collective operation; feeds the measured
-/// `seconds` field of the recorded CommEvent.
+/// `seconds` field of the recorded CommEvent. Every recording primitive
+/// constructs one at its top, so the embedded RecordScope marks the
+/// primitive's dynamic extent: collectives a primitive calls internally
+/// (the DPF_NET=algorithmic realizations) see themselves nested and their
+/// events are dropped in favour of the outermost pattern.
 class OpTimer {
  public:
   OpTimer() : t0_(std::chrono::steady_clock::now()) {}
@@ -27,6 +31,7 @@ class OpTimer {
   }
 
  private:
+  CommLog::RecordScope scope_;
   std::chrono::steady_clock::time_point t0_;
 };
 

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <string>
 
+#include "core/machine.hpp"
+#include "trace/trace.hpp"
+
 namespace dpf {
 
 CommLog& CommLog::instance() {
@@ -11,9 +14,23 @@ CommLog& CommLog::instance() {
 }
 
 void CommLog::record(const CommEvent& e) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!enabled_) return;
-  events_.push_back(e);
+  // Outermost-pattern-only rule: a primitive realized through another
+  // recording primitive (net collectives under a comm scope) contributes
+  // its bytes to the outer pattern alone.
+  if (RecordScope::depth() > 1) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return;
+    events_.push_back(e);
+  }
+  // Join the event into the timeline: the trace span is reconstructed from
+  // the primitive's own wall-time measurement at this single point.
+  if (trace::enabled(trace::Mode::Summary)) {
+    trace::collective(static_cast<std::uint8_t>(e.pattern),
+                      static_cast<std::uint64_t>(e.bytes), e.seconds,
+                      e.predicted_seconds, e.hops,
+                      Machine::instance().region_serial());
+  }
 }
 
 void CommLog::reset() {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "trace/trace.hpp"
+
 namespace dpf {
 namespace {
 
@@ -10,6 +12,13 @@ using clock_t_ = std::chrono::steady_clock;
 
 double seconds_between(clock_t_::time_point a, clock_t_::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+std::uint64_t to_ns(clock_t_::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
 }
 
 inline void cpu_relax() {
@@ -72,6 +81,10 @@ void Machine::configure(int vps) {
                : std::max<index_t>(1, vps_ / (workers_ * 8));
   busy_.assign(static_cast<std::size_t>(workers_), BusySlot{});
   start_pool();
+  // The configuring thread dispatches regions as worker 0; helpers bind
+  // themselves at the top of worker_loop. The trace reconfigure path is a
+  // direct call (the single reconfigure-hook slot belongs to dpf::net).
+  trace::bind_worker(0);
   if (reconfigure_hook_ != nullptr) reconfigure_hook_(vps_);
 }
 
@@ -99,6 +112,10 @@ void Machine::stop_pool() {
 
 void Machine::drain(RegionFn fn, void* ctx, double* slot) {
   const index_t p = static_cast<index_t>(vps_);
+  // Chunk spans reuse the clock reads the busy timer already pays for, so
+  // tracing adds one relaxed-store ring push per chunk.
+  const bool tracing = trace::enabled(trace::Mode::Summary);
+  const std::uint64_t serial = region_serial_.load(std::memory_order_relaxed);
   for (;;) {
     const index_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
     if (begin >= p) return;
@@ -107,10 +124,15 @@ void Machine::drain(RegionFn fn, void* ctx, double* slot) {
     for (index_t vp = begin; vp < end; ++vp) fn(ctx, static_cast<int>(vp));
     const auto t1 = clock_t_::now();
     *slot += seconds_between(t0, t1) * 1e9;
+    if (tracing) {
+      trace::chunk(serial, to_ns(t0), to_ns(t1), static_cast<int>(begin),
+                   static_cast<int>(end));
+    }
   }
 }
 
 void Machine::worker_loop(int worker_id, std::uint64_t seen) {
+  trace::bind_worker(worker_id);
   double* slot = &busy_[static_cast<std::size_t>(worker_id)].ns;
   for (;;) {
     // Wait for the next generation: spin, yield, then park.
@@ -162,11 +184,15 @@ void Machine::spmd_raw(RegionFn fn, void* ctx) {
     ~RegionGuard() { flag.store(false, std::memory_order_release); }
   } guard{in_region_};
 
-  region_serial_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t serial =
+      region_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool tracing = trace::enabled(trace::Mode::Summary);
+  const std::uint64_t tr0 = tracing ? trace::now_ns() : 0;
   cursor_.store(0, std::memory_order_relaxed);
   if (workers_ == 1) {
     // Single-worker fast path: a plain inline loop, no handshake at all.
     drain(fn, ctx, &busy_[0].ns);
+    if (tracing) trace::region(serial, tr0, trace::now_ns(), vps_);
     return;
   }
 
@@ -202,6 +228,7 @@ void Machine::spmd_raw(RegionFn fn, void* ctx) {
       waiter_parked_.store(false, std::memory_order_seq_cst);
     }
   }
+  if (tracing) trace::region(serial, tr0, trace::now_ns(), vps_);
 }
 
 void Machine::reset_busy() {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "trace/trace.hpp"
 
 namespace dpf {
 
@@ -135,6 +136,9 @@ class TemporaryPool {
         list.pop_back();
         stats_.cached_bytes -= static_cast<std::int64_t>(capacity);
         ++stats_.hits;
+        if (trace::enabled(trace::Mode::Full)) {
+          trace::pool_mark(true, capacity, true);
+        }
         return p;
       }
       ++stats_.misses;
@@ -144,6 +148,9 @@ class TemporaryPool {
         ::operator new(capacity + kHeader + kColors * kColorStride));
     char* p = raw + kHeader + color;
     reinterpret_cast<void**>(p)[-1] = raw;
+    if (trace::enabled(trace::Mode::Full)) {
+      trace::pool_mark(true, capacity, false);
+    }
     return p;
   }
 
@@ -160,11 +167,17 @@ class TemporaryPool {
         list.push_back(p);
         stats_.cached_bytes += static_cast<std::int64_t>(capacity);
         ++stats_.recycled;
+        if (trace::enabled(trace::Mode::Full)) {
+          trace::pool_mark(false, capacity, true);
+        }
         return;
       }
       ++stats_.dropped;
     }
     ::operator delete(raw_of(p));
+    if (trace::enabled(trace::Mode::Full)) {
+      trace::pool_mark(false, capacity, false);
+    }
   }
 
   [[nodiscard]] Stats stats() const {

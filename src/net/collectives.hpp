@@ -28,9 +28,11 @@
 /// layer independent of array layouts (dpf::comm passes its owner_id fold).
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "core/comm_log.hpp"
 #include "core/machine.hpp"
 #include "net/net.hpp"
 
@@ -46,6 +48,46 @@ inline int log2_ceil(int p) {
   return r;
 }
 
+/// RAII recorder for one engine collective. When the collective is invoked
+/// directly (not nested inside a recording comm primitive) it is itself a
+/// communication operation and logs one event whose bytes are the transport
+/// payload it posted. Nested invocations — every DPF_NET=algorithmic comm
+/// primitive routes through here — see a non-outermost RecordScope and stay
+/// silent, so the payload is attributed to the outermost pattern only.
+class EngineRecord {
+ public:
+  EngineRecord(CommPattern pattern, int src_rank, int dst_rank)
+      : pattern_(pattern),
+        src_rank_(src_rank),
+        dst_rank_(dst_rank),
+        bytes0_(transport().stats().bytes),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  EngineRecord(const EngineRecord&) = delete;
+  EngineRecord& operator=(const EngineRecord&) = delete;
+
+  ~EngineRecord() {
+    if (!scope_.outermost()) return;
+    const std::uint64_t moved = transport().stats().bytes - bytes0_;
+    if (moved == 0) return;
+    CommEvent e{pattern_, src_rank_, dst_rank_,
+                static_cast<index_t>(moved), static_cast<index_t>(moved), 0};
+    e.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0_)
+                    .count();
+    annotate(e);
+    CommLog::instance().record(e);
+  }
+
+ private:
+  CommLog::RecordScope scope_;
+  CommPattern pattern_;
+  int src_rank_;
+  int dst_rank_;
+  std::uint64_t bytes0_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 }  // namespace coll_detail
 
 /// Allgather of one slot per VP: on entry slot[v] is VP v's contribution;
@@ -60,6 +102,7 @@ void allgather_slots(std::vector<T>& slot) {
   if (p <= 1) return;
   assert(slot.size() == static_cast<std::size_t>(p));
   Transport& t = transport();
+  coll_detail::EngineRecord rec(CommPattern::AABC, 1, 1);
 
   // local[v*p + u] = slot u as known by VP v.
   std::vector<T> local(static_cast<std::size_t>(p) * p, T{});
@@ -131,6 +174,7 @@ template <typename T>
   vals[0] = root_value;
   if (p <= 1) return vals;
   Transport& t = transport();
+  coll_detail::EngineRecord rec(CommPattern::Broadcast, 0, 1);
   const int rounds = coll_detail::log2_ceil(p);
   const std::uint64_t base = next_tags(static_cast<std::uint64_t>(rounds));
   for (int r = 0; r < rounds; ++r) {
@@ -171,6 +215,7 @@ void exchange(T* dst, index_t n_dst, const T* src, MapFn&& src_index_of,
   const int p = m.vps();
   assert(p >= 1);
   Transport& t = transport();
+  coll_detail::EngineRecord rec(CommPattern::AAPC, 1, 1);
   const std::uint64_t base =
       next_tags(static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p));
   const auto pair_tag = [&](int s, int d) {
@@ -240,6 +285,8 @@ void exchange_combine(T* dst, const T* src, const index_t* map, index_t n_src,
   Machine& m = Machine::instance();
   const int p = m.vps();
   Transport& t = transport();
+  coll_detail::EngineRecord rec(
+      add ? CommPattern::ScatterCombine : CommPattern::Scatter, 1, 1);
   const std::uint64_t base =
       next_tags(static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p));
   const auto pair_tag = [&](int s, int d) {

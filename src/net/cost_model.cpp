@@ -133,6 +133,9 @@ double probe_delta() {
   auto src = make_matrix<double>(kSide, kSide);
   auto dst = make_matrix<double>(kSide, kSide);
   for (index_t i = 0; i < kElems; ++i) src[i] = static_cast<double>(i);
+  // Probe traffic is calibration, not payload: the scope makes the
+  // exchange's own EngineRecord non-outermost so nothing reaches CommLog.
+  CommLog::RecordScope suppress_probe;
   double total = 0.0;
   constexpr int kReps = 3;
   for (int rep = 0; rep < kReps; ++rep) {

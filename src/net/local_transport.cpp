@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace dpf::net {
 
@@ -18,21 +19,29 @@ void LocalTransport::resize(int endpoints) {
 void LocalTransport::post(int src, int dst, std::uint64_t tag,
                           const void* data, std::size_t bytes) {
   assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  const bool tracing = trace::enabled(trace::Mode::Full);
+  const std::uint64_t t0 = tracing ? trace::now_ns() : 0;
+  const std::uint64_t epoch = Machine::instance().region_serial();
   Mailbox& mb = box(src, dst);
   Slot s;
   s.tag = tag;
-  s.epoch = Machine::instance().region_serial();
+  s.epoch = epoch;
   s.payload.resize(bytes);
   if (bytes > 0) std::memcpy(s.payload.data(), data, bytes);
   mb.slots.push_back(std::move(s));
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
   pending_.fetch_add(1, std::memory_order_relaxed);
+  if (tracing) {
+    trace::transport_span(true, src, dst, bytes, t0, trace::now_ns(), epoch);
+  }
 }
 
 bool LocalTransport::try_fetch(int dst, int src, std::uint64_t tag, void* data,
                                std::size_t bytes) {
   assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  const bool tracing = trace::enabled(trace::Mode::Full);
+  const std::uint64_t t0 = tracing ? trace::now_ns() : 0;
   Mailbox& mb = box(src, dst);
   for (std::size_t i = 0; i < mb.slots.size(); ++i) {
     if (mb.slots[i].tag != tag) continue;
@@ -44,6 +53,10 @@ bool LocalTransport::try_fetch(int dst, int src, std::uint64_t tag, void* data,
     if (bytes > 0) std::memcpy(data, mb.slots[i].payload.data(), bytes);
     mb.slots.erase(mb.slots.begin() + static_cast<std::ptrdiff_t>(i));
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (tracing) {
+      trace::transport_span(false, src, dst, bytes, t0, trace::now_ns(),
+                            Machine::instance().region_serial());
+    }
     return true;
   }
   return false;

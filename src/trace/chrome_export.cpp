@@ -1,0 +1,183 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/comm_log.hpp"
+
+namespace dpf::trace {
+namespace {
+
+/// Earliest timestamp across the snapshot — the trace's time origin.
+std::uint64_t base_time(const Snapshot& snap) {
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const WorkerTrace& w : snap.workers) {
+    for (const Event& e : w.events) base = std::min(base, e.t0_ns);
+  }
+  return base == std::numeric_limits<std::uint64_t>::max() ? 0 : base;
+}
+
+double us(std::uint64_t ns, std::uint64_t base) {
+  return static_cast<double>(ns - base) / 1000.0;
+}
+
+const char* event_name(const Event& e, char* buf, std::size_t n) {
+  switch (e.kind) {
+    case EventKind::Region:
+      std::snprintf(buf, n, "region %" PRIu32, e.serial);
+      return buf;
+    case EventKind::Chunk:
+      std::snprintf(buf, n, "vp [%u,%u)", e.x, e.y);
+      return buf;
+    case EventKind::Collective: {
+      const std::string_view pat =
+          to_string(static_cast<CommPattern>(e.pattern));
+      std::snprintf(buf, n, "%.*s", static_cast<int>(pat.size()), pat.data());
+      return buf;
+    }
+    case EventKind::Post:
+      std::snprintf(buf, n, "post %u->%u", e.x, e.y);
+      return buf;
+    case EventKind::Fetch:
+      std::snprintf(buf, n, "fetch %u<-%u", e.y, e.x);
+      return buf;
+    case EventKind::PoolAcquire:
+      return e.x ? "pool acquire (hit)" : "pool acquire (miss)";
+    case EventKind::PoolRelease:
+      return e.x ? "pool release (recycled)" : "pool release (dropped)";
+  }
+  return "?";
+}
+
+const char* category(EventKind k) {
+  switch (k) {
+    case EventKind::Region:
+    case EventKind::Chunk:
+      return "spmd";
+    case EventKind::Collective:
+      return "comm";
+    case EventKind::Post:
+    case EventKind::Fetch:
+      return "net";
+    case EventKind::PoolAcquire:
+    case EventKind::PoolRelease:
+      return "pool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path, const Snapshot& snap) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::uint64_t base = base_time(snap);
+
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+  };
+
+  sep();
+  std::fprintf(f,
+               "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+               "\"args\":{\"name\":\"dpf machine\"}}");
+  for (const WorkerTrace& w : snap.workers) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"worker %d\"}}",
+                 w.worker, w.worker);
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                 "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}",
+                 w.worker, w.worker);
+  }
+
+  // (timestamp ns, +/- bytes) deltas for the bytes-in-flight counter track.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> flight;
+
+  char name[64];
+  for (const WorkerTrace& w : snap.workers) {
+    for (const Event& e : w.events) {
+      sep();
+      const bool instant = e.kind == EventKind::PoolAcquire ||
+                           e.kind == EventKind::PoolRelease;
+      if (instant) {
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"s\":\"t\","
+                     "\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"%s\","
+                     "\"args\":{\"bytes\":%" PRIu64 "}}",
+                     w.worker, us(e.t0_ns, base),
+                     event_name(e, name, sizeof(name)), category(e.kind),
+                     e.arg);
+        continue;
+      }
+      std::fprintf(f,
+                   "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                   "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"%s\",\"args\":{",
+                   w.worker, us(e.t0_ns, base),
+                   static_cast<double>(e.t1_ns - e.t0_ns) / 1000.0,
+                   event_name(e, name, sizeof(name)), category(e.kind));
+      switch (e.kind) {
+        case EventKind::Region:
+          std::fprintf(f, "\"serial\":%" PRIu32 ",\"vps\":%" PRIu64, e.serial,
+                       e.arg);
+          break;
+        case EventKind::Chunk:
+          std::fprintf(f,
+                       "\"serial\":%" PRIu32 ",\"vp_begin\":%u,\"vp_end\":%u",
+                       e.serial, e.x, e.y);
+          break;
+        case EventKind::Collective:
+          std::fprintf(f,
+                       "\"pattern\":\"%s\",\"bytes\":%" PRIu64
+                       ",\"predicted_s\":%.9f,\"hops\":%u,\"serial\":%" PRIu32,
+                       std::string(
+                           to_string(static_cast<CommPattern>(e.pattern)))
+                           .c_str(),
+                       e.arg, e.aux, e.x, e.serial);
+          break;
+        case EventKind::Post:
+        case EventKind::Fetch:
+          std::fprintf(f,
+                       "\"bytes\":%" PRIu64 ",\"src\":%u,\"dst\":%u,"
+                       "\"serial\":%" PRIu32,
+                       e.arg, e.x, e.y, e.serial);
+          flight.emplace_back(e.kind == EventKind::Post ? e.t0_ns : e.t1_ns,
+                              e.kind == EventKind::Post
+                                  ? static_cast<std::int64_t>(e.arg)
+                                  : -static_cast<std::int64_t>(e.arg));
+          break;
+        default:
+          break;
+      }
+      std::fprintf(f, "}}");
+    }
+  }
+
+  // Counter track: transport bytes in flight over time.
+  std::sort(flight.begin(), flight.end());
+  std::int64_t in_flight = 0;
+  for (const auto& [t, delta] : flight) {
+    in_flight += delta;
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"C\",\"pid\":0,\"name\":\"bytes in flight\","
+                 "\"ts\":%.3f,\"args\":{\"bytes\":%" PRId64 "}}",
+                 us(t, base), in_flight < 0 ? std::int64_t{0} : in_flight);
+  }
+
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dpf::trace

@@ -1,0 +1,155 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/comm_log.hpp"
+
+namespace dpf::trace {
+namespace {
+
+double secs(std::uint64_t t0_ns, std::uint64_t t1_ns) {
+  return t1_ns > t0_ns ? static_cast<double>(t1_ns - t0_ns) / 1e9 : 0.0;
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char line[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(line, sizeof(line), fmt, ap);
+  va_end(ap);
+  out += line;
+}
+
+/// Per-region accumulation for the imbalance ranking.
+struct RegionStat {
+  std::uint64_t t_min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t t_max = 0;
+  std::map<int, double> busy_by_worker;  // chunk time per worker
+};
+
+}  // namespace
+
+std::string format_trace_summary(const Snapshot& snap, int top_k) {
+  std::string out;
+  append(out, "trace summary\n");
+
+  // Window: earliest to latest event timestamp across all workers.
+  std::uint64_t w0 = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t w1 = 0;
+  for (const WorkerTrace& w : snap.workers) {
+    for (const Event& e : w.events) {
+      w0 = std::min(w0, e.t0_ns);
+      w1 = std::max(w1, e.t1_ns);
+    }
+  }
+  const double window = w1 > w0 ? secs(w0, w1) : 0.0;
+  append(out, "  window %.6f s, %zu events, %" PRIu64 " dropped\n", window,
+         snap.event_count(), snap.dropped_count());
+  if (snap.unbound_events > 0) {
+    append(out, "  (%" PRIu64 " events from unbound threads not recorded)\n",
+           snap.unbound_events);
+  }
+
+  // Per-worker breakdown: busy from chunk spans, comm from transport spans,
+  // idle = the remainder of the window.
+  append(out, "  %-8s %10s %10s %10s %8s %8s\n", "worker", "busy(s)",
+         "comm(s)", "idle(s)", "events", "dropped");
+  std::map<std::uint32_t, RegionStat> regions;
+  for (const WorkerTrace& w : snap.workers) {
+    double busy = 0.0;
+    double comm = 0.0;
+    for (const Event& e : w.events) {
+      switch (e.kind) {
+        case EventKind::Chunk: {
+          const double d = secs(e.t0_ns, e.t1_ns);
+          busy += d;
+          RegionStat& rs = regions[e.serial];
+          rs.busy_by_worker[w.worker] += d;
+          rs.t_min = std::min(rs.t_min, e.t0_ns);
+          rs.t_max = std::max(rs.t_max, e.t1_ns);
+          break;
+        }
+        case EventKind::Post:
+        case EventKind::Fetch:
+          comm += secs(e.t0_ns, e.t1_ns);
+          break;
+        default:
+          break;
+      }
+    }
+    const double idle = std::max(0.0, window - busy - comm);
+    append(out, "  %-8d %10.6f %10.6f %10.6f %8zu %8" PRIu64 "\n", w.worker,
+           busy, comm, idle, w.events.size(), w.dropped);
+  }
+
+  // Collective totals by pattern (recorded on the dispatching worker).
+  std::map<std::uint8_t, std::array<double, 4>> by_pattern;  // n,B,meas,pred
+  for (const WorkerTrace& w : snap.workers) {
+    for (const Event& e : w.events) {
+      if (e.kind != EventKind::Collective) continue;
+      auto& a = by_pattern[e.pattern];
+      a[0] += 1.0;
+      a[1] += static_cast<double>(e.arg);
+      a[2] += secs(e.t0_ns, e.t1_ns);
+      a[3] += e.aux;
+    }
+  }
+  if (!by_pattern.empty()) {
+    append(out, "  collectives:\n");
+    append(out, "    %-20s %6s %12s %12s %12s\n", "pattern", "n", "bytes",
+           "measured(s)", "predicted(s)");
+    for (const auto& [pat, a] : by_pattern) {
+      append(out, "    %-20s %6.0f %12.0f %12.6f %12.6f\n",
+             std::string(to_string(static_cast<CommPattern>(pat))).c_str(),
+             a[0], a[1], a[2], a[3]);
+    }
+  }
+
+  // Top-k imbalanced regions: rank by max/mean per-worker busy time over
+  // the workers that executed chunks of the region.
+  struct Ranked {
+    std::uint32_t serial;
+    double ratio;
+    double span;
+    double busy;
+    std::size_t workers;
+  };
+  std::vector<Ranked> ranked;
+  for (const auto& [serial, rs] : regions) {
+    double total = 0.0;
+    double peak = 0.0;
+    for (const auto& [w, b] : rs.busy_by_worker) {
+      total += b;
+      peak = std::max(peak, b);
+    }
+    if (total < 1e-6 || rs.busy_by_worker.empty()) continue;
+    const double mean = total / static_cast<double>(rs.busy_by_worker.size());
+    ranked.push_back({serial, mean > 0.0 ? peak / mean : 1.0,
+                      secs(rs.t_min, rs.t_max), total,
+                      rs.busy_by_worker.size()});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.ratio > b.ratio; });
+  if (!ranked.empty() && top_k > 0) {
+    append(out, "  top imbalanced regions (max/mean busy):\n");
+    append(out, "    %-8s %8s %12s %12s %8s\n", "serial", "ratio", "span(s)",
+           "busy(s)", "workers");
+    const std::size_t k =
+        std::min<std::size_t>(ranked.size(), static_cast<std::size_t>(top_k));
+    for (std::size_t i = 0; i < k; ++i) {
+      const Ranked& r = ranked[i];
+      append(out, "    %-8" PRIu32 " %8.2f %12.6f %12.6f %8zu\n", r.serial,
+             r.ratio, r.span, r.busy, r.workers);
+    }
+  }
+  return out;
+}
+
+}  // namespace dpf::trace

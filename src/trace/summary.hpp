@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file summary.hpp
+/// Terminal summary exporter for dpf::trace snapshots: per-worker
+/// busy/comm/idle breakdown, collective totals by pattern, and the top-k
+/// most imbalanced SPMD regions. Wired into `dpfrun run --report trace`.
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace dpf::trace {
+
+/// Formats `snap` as a human-readable summary. `top_k` bounds the list of
+/// most imbalanced regions (ranked by max/mean per-worker busy time).
+[[nodiscard]] std::string format_trace_summary(const Snapshot& snap,
+                                               int top_k = 5);
+
+}  // namespace dpf::trace

@@ -2,20 +2,28 @@
 /// Command-line driver for the suite — run any benchmark by name with
 /// arbitrary parameters and print the paper's metrics:
 ///
-///   dpfrun list
+///   dpfrun list [--long]
 ///   dpfrun info <benchmark>
 ///   dpfrun run <benchmark> [--version=basic|optimized|library|cmssl|cdpeac]
 ///                          [--vps=N] [--set key=value ...]
-///                          [--trace=FILE.csv] [--report comm]
+///                          [--trace FILE.json|FILE.csv]
+///                          [--report comm|trace]
 ///
-/// `--report comm` calibrates the fat-tree cost model before the run and
-/// prints a per-pattern table of counts, bytes, VP-crossing bytes and
-/// measured vs predicted communication time. Combine with DPF_NET=algorithmic
-/// to price the message-passing formulations.
+/// `list --long` adds each benchmark's category (comm/la/app), problem-size
+/// knobs and the default DPF_VPS. `--report comm` calibrates the fat-tree
+/// cost model before the run and prints a per-pattern table of counts,
+/// bytes, VP-crossing bytes and measured vs predicted communication time;
+/// `--report trace` enables the dpf::trace timeline and prints the
+/// per-worker busy/comm/idle summary. `--trace FILE.json` records a full
+/// timeline and exports Chrome trace-event JSON (open in Perfetto or
+/// chrome://tracing); `--trace FILE.csv` keeps the CommLog CSV dump.
+/// Combine with DPF_NET=algorithmic to price the message-passing
+/// formulations.
 ///
 /// Examples:
 ///   dpfrun run conj-grad --set n=4096 --version=optimized
 ///   dpfrun run fft --set n=1024 --set dims=2 --vps=8
+///   dpfrun run lu --trace lu.json
 ///   DPF_NET=algorithmic dpfrun run transpose --vps=16 --report comm
 
 #include <cstdio>
@@ -29,12 +37,24 @@
 #include "core/registry.hpp"
 #include "net/net.hpp"
 #include "suite/register_all.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/summary.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 using namespace dpf;
 
-int cmd_list() {
+const char* group_short(Group g) {
+  switch (g) {
+    case Group::Communication: return "comm";
+    case Group::LinearAlgebra: return "la";
+    case Group::Application: return "app";
+  }
+  return "?";
+}
+
+int cmd_list(bool long_mode) {
   for (Group g : {Group::Communication, Group::LinearAlgebra,
                   Group::Application}) {
     std::printf("[%s]\n", std::string(to_string(g)).c_str());
@@ -44,8 +64,20 @@ int cmd_list() {
         if (!versions.empty()) versions += ", ";
         versions += std::string(to_string(v));
       }
-      std::printf("  %-20s versions: %s\n", def->name.c_str(),
-                  versions.c_str());
+      if (!long_mode) {
+        std::printf("  %-20s versions: %s\n", def->name.c_str(),
+                    versions.c_str());
+        continue;
+      }
+      std::string knobs;
+      for (const auto& [k, v] : def->default_params) {
+        if (!knobs.empty()) knobs += " ";
+        knobs += k + "=" + std::to_string(static_cast<long long>(v));
+      }
+      std::printf("  %-20s [%-4s] knobs: %-40s default vps: %d\n",
+                  def->name.c_str(), group_short(def->group), knobs.c_str(),
+                  Machine::default_vps());
+      std::printf("  %-20s        versions: %s\n", "", versions.c_str());
     }
   }
   return 0;
@@ -105,20 +137,26 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   RunConfig cfg;
   std::string trace_path;
   bool report_comm = false;
+  bool report_trace = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
+    } else if (a == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
     } else if (a.rfind("--report=", 0) == 0 ||
                (a == "--report" && i + 1 < args.size())) {
       const std::string what =
           a == "--report" ? args[++i] : a.substr(9);
-      if (what != "comm") {
-        std::fprintf(stderr, "unknown report '%s' (supported: comm)\n",
+      if (what == "comm") {
+        report_comm = true;
+      } else if (what == "trace") {
+        report_trace = true;
+      } else {
+        std::fprintf(stderr, "unknown report '%s' (supported: comm, trace)\n",
                      what.c_str());
         return 2;
       }
-      report_comm = true;
     } else if (a.rfind("--version=", 0) == 0) {
       if (!parse_version(a.substr(10), cfg.version)) {
         std::fprintf(stderr, "bad version '%s'\n", a.c_str());
@@ -146,13 +184,37 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
                  name.c_str(), std::string(to_string(cfg.version)).c_str());
   }
 
+  // A .csv trace is the CommLog event dump; anything else is a Chrome
+  // trace-event JSON timeline, which needs full tracing during the run.
+  const bool chrome_trace =
+      !trace_path.empty() &&
+      (trace_path.size() < 4 ||
+       trace_path.compare(trace_path.size() - 4, 4, ".csv") != 0);
+  if (chrome_trace) trace::set_mode(trace::Mode::Full);
+  if (report_trace && trace::mode() == trace::Mode::Off) {
+    trace::set_mode(trace::Mode::Summary);
+  }
+
   // Calibrate the cost model before the run so every recorded event carries
   // a prediction alongside its measured time.
-  if (report_comm) net::calibrate();
+  if (report_comm || report_trace || chrome_trace) net::calibrate();
 
   if (!trace_path.empty()) CommLog::instance().reset();
+  if (chrome_trace || report_trace) trace::reset();
   const auto r = def->run_with_defaults(cfg);
-  if (!trace_path.empty()) {
+  // Flush the timeline once, before the peak-MFLOPS calibration below can
+  // append its own regions to the rings.
+  trace::Snapshot trace_snap;
+  if (chrome_trace || report_trace) trace_snap = trace::collect();
+  if (chrome_trace) {
+    if (trace::write_chrome_trace(trace_path, trace_snap)) {
+      std::printf("timeline trace written to %s (open in Perfetto)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+  } else if (!trace_path.empty()) {
     if (CommLog::instance().dump_csv(trace_path)) {
       std::printf("communication trace written to %s\n", trace_path.c_str());
     } else {
@@ -221,6 +283,9 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
                   key.dst_rank, static_cast<long long>(count));
     }
   }
+  if (report_trace) {
+    std::printf("\n%s", trace::format_trace_summary(trace_snap).c_str());
+  }
   const auto it = r.checks.find("residual");
   return (it != r.checks.end() && it->second > 1e-3) ? 1 : 0;
 }
@@ -235,7 +300,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  if (cmd == "list") return cmd_list();
+  if (cmd == "list") {
+    const bool long_mode = argc >= 3 && std::strcmp(argv[2], "--long") == 0;
+    return cmd_list(long_mode);
+  }
   if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
   if (cmd == "run" && argc >= 3) {
     std::vector<std::string> args;
