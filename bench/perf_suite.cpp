@@ -11,10 +11,13 @@
 /// argv[1]) so the perf trajectory across PRs is diffable.
 ///
 /// `--smoke` runs one representative benchmark per group — a fast CI
-/// smoke of the whole metric pipeline. When DPF_TRACE is enabled the run
-/// additionally writes a Chrome trace-event timeline (DPF_TRACE_JSON, or
-/// BENCH_trace.json next to the perf JSON) and prints the per-worker
-/// trace summary.
+/// smoke of the whole metric pipeline. `--reps N` runs each benchmark N
+/// times and reports the best-of-N (minimum elapsed) repetition — the
+/// timings at default sizes are milliseconds, so best-of-N is what makes
+/// A/B comparisons (e.g. DPF_SIMD on vs off) stable. When DPF_TRACE is
+/// enabled the run additionally writes a Chrome trace-event timeline
+/// (DPF_TRACE_JSON, or BENCH_trace.json next to the perf JSON) and prints
+/// the per-worker trace summary.
 
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +26,7 @@
 
 #include "bench/table_common.hpp"
 #include "core/machine.hpp"
+#include "vec/vec.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/summary.hpp"
 #include "trace/trace.hpp"
@@ -64,8 +68,10 @@ void write_json(const std::string& path, int vps, double peak,
     std::fprintf(stderr, "perf_suite: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"machine\": {\"vps\": %d, \"peak_mflops\": %.1f},\n",
-               vps, peak);
+  std::fprintf(f,
+               "{\n  \"machine\": {\"vps\": %d, \"peak_mflops\": %.1f, "
+               "\"simd\": %s},\n",
+               vps, peak, dpf::vec::enabled() ? "true" : "false");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -95,10 +101,14 @@ int main(int argc, char** argv) {
   dpf::register_all_benchmarks();
   using namespace dpf;
   bool smoke = false;
+  int reps = 1;
   const char* path_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) reps = 1;
     } else {
       path_arg = argv[i];
     }
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
   const double peak = Machine::instance().peak_mflops();
   std::printf("machine: %d virtual processors, calibrated peak %.1f MFLOPS\n",
               Machine::instance().vps(), peak);
+  std::printf("vector units: %s%s\n", vec::enabled() ? "on" : "off",
+              reps > 1 ? ", best-of-N repetitions" : "");
   if (trace::mode() != trace::Mode::Off) trace::reset();
 
   bench::title("DPF performance metrics (section 1.5)");
@@ -119,7 +131,13 @@ int main(int argc, char** argv) {
                   Group::Application}) {
     for (const auto* def : Registry::instance().by_group(g)) {
       if (smoke && !in_smoke_set(def->name)) continue;
-      const auto r = def->run_with_defaults(RunConfig{});
+      auto r = def->run_with_defaults(RunConfig{});
+      for (int rep = 1; rep < reps; ++rep) {
+        auto rr = def->run_with_defaults(RunConfig{});
+        if (rr.metrics.elapsed_seconds < r.metrics.elapsed_seconds) {
+          r = std::move(rr);
+        }
+      }
       const auto& m = r.metrics;
       const bool la = g == Group::LinearAlgebra;
       std::printf("%-20s %10.5f %10.5f %10.2f %10.2f %12lld %10lld",

@@ -7,6 +7,11 @@
 /// (paper section 1.5, attribute 1), and recorded as CommPattern::Reduction
 /// with the source/destination array ranks the paper's tables use (e.g.
 /// "3 2-D to 1-D Reductions" in md, "Reductions 2-D to scalar" in qmc).
+///
+/// Per-VP partials run on the dpf::vec lane kernels: each block folds into
+/// kLanes fixed accumulator lanes combined in a deterministic order, so the
+/// result is identical under DPF_SIMD=on and off and stable across worker
+/// counts (see vec/kernels.hpp).
 
 #include <algorithm>
 #include <vector>
@@ -16,6 +21,7 @@
 #include "core/flops.hpp"
 #include "core/machine.hpp"
 #include "core/ops.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::comm {
 
@@ -26,10 +32,9 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  const T* xs = a.data().data();
   for_each_block(n, [&](int vp, Block b) {
-    T acc{};
-    for (index_t i = b.begin; i < b.end; ++i) acc += a[i];
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] = vec::sum(xs + b.begin, b.size());
   });
   detail::share_partials(partial);
   T total{};
@@ -49,10 +54,11 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  const T* as = a.data().data();
+  const T* bs = b.data().data();
   for_each_block(n, [&](int vp, Block blk) {
-    T acc{};
-    for (index_t i = blk.begin; i < blk.end; ++i) acc += a[i] * b[i];
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] =
+        vec::dot(as + blk.begin, bs + blk.begin, blk.size());
   });
   detail::share_partials(partial);
   T total{};
@@ -73,10 +79,9 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), a[0]);
+  const T* xs = a.data().data();
   for_each_block(n, [&](int vp, Block b) {
-    T acc = a[b.begin];
-    for (index_t i = b.begin + 1; i < b.end; ++i) acc = std::max(acc, a[i]);
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] = vec::max(xs + b.begin, b.size());
   });
   detail::share_partials(partial);
   T total = partial[0];
@@ -96,10 +101,9 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), a[0]);
+  const T* xs = a.data().data();
   for_each_block(n, [&](int vp, Block b) {
-    T acc = a[b.begin];
-    for (index_t i = b.begin + 1; i < b.end; ++i) acc = std::min(acc, a[i]);
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] = vec::min(xs + b.begin, b.size());
   });
   detail::share_partials(partial);
   T total = partial[0];
@@ -119,10 +123,10 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  const T* xs = a.data().data();
   for_each_block(n, [&](int vp, Block b) {
-    T acc{};
-    for (index_t i = b.begin; i < b.end; ++i) acc = std::max(acc, std::abs(a[i]));
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] =
+        vec::absmax(xs + b.begin, b.size());
   });
   detail::share_partials(partial);
   T total{};
@@ -161,10 +165,10 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{1});
+  const T* xs = a.data().data();
   for_each_block(n, [&](int vp, Block b) {
-    T acc{1};
-    for (index_t i = b.begin; i < b.end; ++i) acc *= a[i];
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] =
+        vec::product(xs + b.begin, b.size());
   });
   detail::share_partials(partial);
   T total{1};
@@ -223,10 +227,10 @@ template <std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<index_t> partial(static_cast<std::size_t>(p), 0);
+  const std::uint8_t* ms = mask.data().data();
   for_each_block(mask.size(), [&](int vp, Block b) {
-    index_t acc = 0;
-    for (index_t i = b.begin; i < b.end; ++i) acc += (mask[i] != 0);
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] =
+        vec::count_true(ms + b.begin, b.size());
   });
   detail::share_partials(partial);
   index_t total = 0;
@@ -249,12 +253,11 @@ template <typename T, std::size_t R>
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
   std::vector<T> partial(static_cast<std::size_t>(p), T{});
+  const T* xs = a.data().data();
+  const std::uint8_t* ms = mask.data().data();
   for_each_block(n, [&](int vp, Block b) {
-    T acc{};
-    for (index_t i = b.begin; i < b.end; ++i) {
-      if (mask[i]) acc += a[i];
-    }
-    partial[static_cast<std::size_t>(vp)] = acc;
+    partial[static_cast<std::size_t>(vp)] =
+        vec::sum_masked(xs + b.begin, ms + b.begin, b.size());
   });
   detail::share_partials(partial);
   T total{};
@@ -283,16 +286,25 @@ void reduce_axis_sum_into(Array<T, R - 1>& dst, const Array<T, R>& src,
   // Stays direct in both DPF_NET modes: each output element folds along the
   // reduced axis locally, so there is no cross-VP combine to reformulate.
   detail::OpTimer timer;
-  parallel_range(outer * inner, [&](index_t lo, index_t hi) {
-    for (index_t oi = lo; oi < hi; ++oi) {
-      const index_t o = oi / inner;
-      const index_t i = oi % inner;
-      const index_t base = o * n * inner + i;
-      T acc{};
-      for (index_t j = 0; j < n; ++j) acc += src[base + j * st];
-      dst[oi] = acc;
-    }
-  });
+  if (st == 1) {
+    // Innermost axis: every output element folds a contiguous line — use
+    // the lane-partial vector kernel directly.
+    const T* ss = src.data().data();
+    parallel_range(outer, [&](index_t lo, index_t hi) {
+      for (index_t o = lo; o < hi; ++o) dst[o] = vec::sum(ss + o * n, n);
+    });
+  } else {
+    parallel_range(outer * inner, [&](index_t lo, index_t hi) {
+      for (index_t oi = lo; oi < hi; ++oi) {
+        const index_t o = oi / inner;
+        const index_t i = oi % inner;
+        const index_t base = o * n * inner + i;
+        T acc{};
+        for (index_t j = 0; j < n; ++j) acc += src[base + j * st];
+        dst[oi] = acc;
+      }
+    });
+  }
   if (n > 1) flops::add(flops::Kind::AddSubMul, (n - 1) * outer * inner);
   const int p = Machine::instance().vps();
   detail::record(CommPattern::Reduction, static_cast<int>(R),

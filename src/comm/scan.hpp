@@ -12,6 +12,8 @@
 #include "core/array.hpp"
 #include "core/flops.hpp"
 #include "core/machine.hpp"
+#include "core/ops.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::comm {
 
@@ -46,21 +48,28 @@ void scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
         offset[static_cast<std::size_t>(vp - 1)] +
         block_total[static_cast<std::size_t>(vp - 1)];
   }
+  // Offset-fix pass. The exclusive variant folds the shift-right-by-one in
+  // here instead of running a serial post-pass on the control processor, so
+  // its O(n) cost lands inside the SPMD region (busy time + trace spans):
+  // within a block the exclusive prefix at i is the pass-1 local inclusive
+  // prefix at i-1 plus the block offset, and at a block head it is the block
+  // offset itself — bit-identical to shifting the inclusive result, since
+  // offset[vp] = offset[vp-1] + block_total[vp-1] is the same addition the
+  // shifted head element would have seen.
+  T* ds = dst.data().data();
   for_each_block(n, [&](int vp, Block b) {
     const T off = offset[static_cast<std::size_t>(vp)];
-    for (index_t i = b.begin; i < b.end; ++i) dst[i] += off;
-  });
-  if (exclusive) {
-    // Shift right by one, seeding with zero; done as a serial post-pass on
-    // the control processor (the payload already lives in dst).
-    T prev{};
-    for (index_t i = 0; i < n; ++i) {
-      const T cur = dst[i];
-      dst[i] = prev;
-      prev = cur;
+    if (exclusive) {
+      // Downward sweep: dst[i-1] is still the pass-1 value when read.
+      for (index_t i = b.end - 1; i > b.begin; --i) ds[i] = ds[i - 1] + off;
+      ds[b.begin] = off;
+    } else {
+      vec::add_scalar(ds + b.begin, b.size(), off);
     }
-  }
-  flops::add_reduction(n);
+  });
+  // A sum scan costs N-1 sequential FLOPs (paper section 1.5, attribute 1),
+  // exactly like scan_sum_axis_into; pinned by ScanMetrics regression tests.
+  if (n > 1) flops::add(flops::Kind::AddSubMul, n - 1);
   detail::record(CommPattern::Scan, 1, 1, src.bytes(),
                  (p - 1) * static_cast<index_t>(sizeof(T)), 0,
                  timer.seconds());
@@ -93,7 +102,9 @@ void segmented_scan_sum_into(Array<T, 1>& dst, const Array<T, 1>& src,
     acc += src[i];
     dst[i] = acc;
   }
-  flops::add_reduction(n);
+  // Counted N-1 like every sum scan (segment restarts don't change the
+  // paper's sequential-cost accounting).
+  if (n > 1) flops::add(flops::Kind::AddSubMul, n - 1);
   const int p = Machine::instance().vps();
   detail::record(CommPattern::Scan, 1, 1, src.bytes(),
                  (p - 1) * static_cast<index_t>(sizeof(T)), /*detail=*/1,

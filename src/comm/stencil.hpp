@@ -18,6 +18,7 @@
 #include "core/flops.hpp"
 #include "core/machine.hpp"
 #include "core/ops.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::comm {
 
@@ -50,12 +51,22 @@ void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
     // (R-1 divisions per *row*, not R per element) and sweep the innermost
     // axis with its stride — unit stride for row-major arrays, so the body
     // runs over contiguous memory.
+    // The interior sweep never reads dst (fn reads src only), so when the
+    // two arrays are distinct stores the row bodies are iteration-
+    // independent and run through the vec::map hinted sweep; an in-place
+    // stencil (dst aliasing src) keeps the plain loops.
+    const bool vectorizable = !detail::same_store(dst, src);
     if constexpr (R == 1) {
       const index_t st0 = strides[0];
       parallel_range(interior, [&](index_t lo, index_t hi) {
-        for (index_t k = lo; k < hi; ++k) {
-          const index_t lin = (k + halo_width) * st0;
-          dst[lin] = fn(lin);
+        if (vectorizable && st0 == 1) {
+          vec::map(lo + halo_width, hi + halo_width,
+                   [&](index_t lin) { dst[lin] = fn(lin); });
+        } else {
+          for (index_t k = lo; k < hi; ++k) {
+            const index_t lin = (k + halo_width) * st0;
+            dst[lin] = fn(lin);
+          }
         }
       });
     } else {
@@ -80,8 +91,12 @@ void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
             rem %= rdiv[a];
             lin += (coord + halo_width) * strides[a];
           }
-          for (index_t j = 0; j < row_len; ++j, lin += st_inner) {
-            dst[lin] = fn(lin);
+          if (vectorizable && st_inner == 1) {
+            vec::map(lin, lin + row_len, [&](index_t c) { dst[c] = fn(c); });
+          } else {
+            for (index_t j = 0; j < row_len; ++j, lin += st_inner) {
+              dst[lin] = fn(lin);
+            }
           }
         }
       });

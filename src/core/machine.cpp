@@ -1,6 +1,8 @@
 #include "core/machine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "trace/trace.hpp"
@@ -42,12 +44,30 @@ Machine& Machine::instance() {
   return m;
 }
 
-int Machine::default_vps() {
-  if (const char* env = std::getenv("DPF_VPS")) {
-    const int v = std::atoi(env);
-    if (v >= 1 && v <= 4096) return v;
+namespace {
+
+// Integer environment knob in [lo, hi]. A set-but-unparsable or out-of-range
+// value is rejected *loudly*: a one-line stderr warning names the rejected
+// value and the default actually used, instead of silently falling back.
+int env_int_or(const char* name, int lo, int hi, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end != env && *end == '\0' && v >= lo && v <= hi) {
+    return static_cast<int>(v);
   }
-  return 4;
+  std::fprintf(stderr,
+               "dpf: ignoring %s=\"%s\" (expected integer in [%d, %d]); "
+               "using default %d\n",
+               name, env, lo, hi, fallback);
+  return fallback;
+}
+
+}  // namespace
+
+int Machine::default_vps() {
+  return env_int_or("DPF_VPS", 1, 4096, 4);
 }
 
 namespace {
@@ -55,11 +75,9 @@ namespace {
 // Worker-thread budget: DPF_WORKERS if set (useful for exercising the
 // multi-threaded barrier on single-core hosts), else hardware concurrency.
 int worker_budget() {
-  if (const char* env = std::getenv("DPF_WORKERS")) {
-    const int v = std::atoi(env);
-    if (v >= 1 && v <= 256) return v;
-  }
-  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return env_int_or("DPF_WORKERS", 1, 256, hw);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "core/array.hpp"
 #include "core/flops.hpp"
 #include "core/ops.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::la {
 
@@ -72,11 +73,13 @@ inline LuFactor lu_factor(const Array2<double>& a) {
     // Trailing rank-1 update.
     const index_t w = n - k - 1;
     if (w > 0) {
+      // Rank-1 trailing update: each row takes a contiguous AXPY against
+      // the pivot row on the vector unit (x - lik*b == x + (-lik)*b bit-
+      // exactly, so pivoting decisions are unchanged).
       parallel_range(w, [&](index_t lo, index_t hi) {
         for (index_t t = lo; t < hi; ++t) {
           const index_t i = k + 1 + t;
-          const double lik = m(i, k);
-          for (index_t j = k + 1; j < n; ++j) m(i, j) -= lik * m(k, j);
+          vec::axpy(-m(i, k), &m(k, k + 1), &m(i, k + 1), w);
         }
       });
       flops::add(flops::Kind::AddSubMul, 2 * w * w);
@@ -140,8 +143,7 @@ inline LuFactor lu_factor_blocked(const Array2<double>& a, index_t nb = 32) {
         parallel_range(n - k - 1, [&](index_t lo, index_t hi) {
           for (index_t t = lo; t < hi; ++t) {
             const index_t i = k + 1 + t;
-            const double lik = m(i, k);
-            for (index_t j = k + 1; j < k1; ++j) m(i, j) -= lik * m(k, j);
+            vec::axpy(-m(i, k), &m(k, k + 1), &m(i, k + 1), w);
           }
         });
         flops::add(flops::Kind::AddSubMul, 2 * (n - k - 1) * w);
@@ -168,8 +170,7 @@ inline LuFactor lu_factor_blocked(const Array2<double>& a, index_t nb = 32) {
       for (index_t t = lo; t < hi; ++t) {
         const index_t i = k1 + t;
         for (index_t l = k0; l < k1; ++l) {
-          const double lil = m(i, l);
-          for (index_t j = k1; j < n; ++j) m(i, j) -= lil * m(l, j);
+          vec::axpy(-m(i, l), &m(l, k1), &m(i, k1), n - k1);
         }
       }
     });

@@ -16,6 +16,7 @@
 #include "comm/reduce.hpp"
 #include "core/array.hpp"
 #include "core/ops.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::la {
 
@@ -42,12 +43,11 @@ inline void matvec1_opt(Array1<double>& y, const Array2<double>& a,
   const index_t n = a.extent(0);
   const index_t m = a.extent(1);
   assert(x.size() == m && y.size() == n);
+  // Fused row dots on the vector unit: each row of A is contiguous, x is
+  // contiguous, so the inner product runs on the lane-partial kernel.
+  const double* xs = x.data().data();
   parallel_range(n, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      double acc = 0.0;
-      for (index_t j = 0; j < m; ++j) acc += a(i, j) * x[j];
-      y[i] = acc;
-    }
+    for (index_t i = lo; i < hi; ++i) y[i] = vec::dot(&a(i, 0), xs, m);
   });
   flops::add(flops::Kind::AddSubMul, n * m);          // multiplies
   if (m > 1) flops::add(flops::Kind::AddSubMul, n * (m - 1));  // adds
@@ -65,12 +65,9 @@ inline void matvec1_complex(Array1<complexd>& y, const Array2<complexd>& a,
   const index_t n = a.extent(0);
   const index_t m = a.extent(1);
   assert(x.size() == m && y.size() == n);
+  const complexd* xs = x.data().data();
   parallel_range(n, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      complexd acc{};
-      for (index_t j = 0; j < m; ++j) acc += a(i, j) * x[j];
-      y[i] = acc;
-    }
+    for (index_t i = lo; i < hi; ++i) y[i] = vec::dot(&a(i, 0), xs, m);
   });
   flops::add_weighted(8 * n * m);
   const int p = Machine::instance().vps();
@@ -94,9 +91,7 @@ inline void matvec2(Array2<double>& y, const Array3<double>& a,
     for (index_t k = lo; k < hi; ++k) {
       const index_t l = k / n;
       const index_t i = k % n;
-      double acc = 0.0;
-      for (index_t j = 0; j < m; ++j) acc += a(l, i, j) * x(l, j);
-      y(l, i) = acc;
+      y(l, i) = vec::dot(&a(l, i, 0), &x(l, 0), m);
     }
   });
   flops::add(flops::Kind::AddSubMul, inst * n * m);

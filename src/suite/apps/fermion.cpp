@@ -15,6 +15,7 @@
 
 #include "suite/common.hpp"
 #include "suite/register_all.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::suite {
 namespace {
@@ -76,15 +77,7 @@ RunResult run_fermion(const RunConfig& cfg) {
       for (index_t i = 0; i < l; ++i) acc[static_cast<std::size_t>(i * l + i)] = 1.0;
       for (index_t c = 0; c < chain; ++c) {
         const index_t mi = s * chain + order(s, c);  // indirect access
-        for (index_t i = 0; i < l; ++i) {
-          for (index_t j = 0; j < l; ++j) {
-            double v = 0.0;
-            for (index_t k = 0; k < l; ++k) {
-              v += acc[static_cast<std::size_t>(i * l + k)] * mats(mi, k, j);
-            }
-            nxt[static_cast<std::size_t>(i * l + j)] = v;
-          }
-        }
+        vec::matmul(acc.data(), &mats(mi, 0, 0), nxt.data(), l);
         acc.swap(nxt);
       }
       for (index_t i = 0; i < l; ++i) {

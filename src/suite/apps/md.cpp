@@ -16,6 +16,7 @@
 #include "comm/comm.hpp"
 #include "suite/common.hpp"
 #include "suite/register_all.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::suite {
 namespace {
@@ -57,10 +58,12 @@ void forces(MdState& s, index_t n, bool symmetric = false) {
     for (index_t i = lo; i < hi; ++i) {
       const index_t j0 = symmetric ? i + 1 : 0;
       if (symmetric) s.fxm(i, i) = s.fym(i, i) = s.fzm(i, i) = 0.0;
-      for (index_t j = j0; j < n; ++j) {
+      // Each j writes only its own interaction-matrix slot, so the row
+      // sweep is iteration-independent and runs through vec::map.
+      vec::map(j0, n, [&](index_t j) {
         if (i == j) {
           s.fxm(i, j) = s.fym(i, j) = s.fzm(i, j) = 0.0;
-          continue;
+          return;
         }
         const double dx = xj(i, j) - xi(i, j);
         const double dy = yj(i, j) - yi(i, j);
@@ -73,7 +76,7 @@ void forces(MdState& s, index_t n, bool symmetric = false) {
         s.fxm(i, j) = fmag * dx;
         s.fym(i, j) = fmag * dy;
         s.fzm(i, j) = fmag * dz;
-      }
+      });
     }
   });
   if (symmetric) {

@@ -15,6 +15,7 @@
 #include "comm/comm.hpp"
 #include "suite/common.hpp"
 #include "suite/register_all.hpp"
+#include "vec/vec.hpp"
 
 namespace dpf::suite {
 namespace {
@@ -75,14 +76,15 @@ void forces_spread(Particles& p, index_t n) {
   Array2<double> fym(Shape<2>(n, n), Layout<2>{}, MemKind::Temporary);
   parallel_range(n, [&](index_t lo, index_t hi) {
     for (index_t i = lo; i < hi; ++i) {
-      for (index_t j = 0; j < n; ++j) {
+      // Row sweep writes only (i, j) slots: iteration-independent.
+      vec::map(index_t{0}, n, [&](index_t j) {
         double fx = 0, fy = 0;
         if (i != j) {
           pair_force(p.x[i], p.y[i], xs(i, j), ys(i, j), ms(i, j), fx, fy);
         }
         fxm(i, j) = fx;
         fym(i, j) = fy;
-      }
+      });
     }
   });
   flops::add_weighted(17 * n * n);
@@ -109,12 +111,12 @@ void forces_cshift(Particles& p, index_t n) {
     ty = std::move(ny_);
     tm = std::move(nm_);
     parallel_range(n, [&](index_t lo, index_t hi) {
-      for (index_t i = lo; i < hi; ++i) {
+      vec::map(lo, hi, [&](index_t i) {
         double fx = 0, fy = 0;
         pair_force(p.x[i], p.y[i], tx[i], ty[i], tm[i], fx, fy);
         p.fx[i] += fx;
         p.fy[i] += fy;
-      }
+      });
     });
     flops::add_weighted(17 * n);
   }

@@ -1,5 +1,6 @@
 #include "trace/trace.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -29,8 +30,18 @@ struct Registry {
     if (capacity == 0) {
       capacity = kDefaultCapacity;
       if (const char* s = std::getenv("DPF_TRACE_CAP")) {
-        const long v = std::atol(s);
-        if (v > 0) capacity = round_pow2(static_cast<std::size_t>(v));
+        char* end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end != s && *end == '\0' && v > 0) {
+          capacity = round_pow2(static_cast<std::size_t>(v));
+        } else if (*s != '\0') {
+          // Reject garbage and non-positive caps loudly, naming the value
+          // and the default used (same convention as DPF_VPS/DPF_WORKERS).
+          std::fprintf(stderr,
+                       "dpf: ignoring DPF_TRACE_CAP=\"%s\" (expected a "
+                       "positive integer); using default %zu\n",
+                       s, kDefaultCapacity);
+        }
       }
     }
     return capacity;

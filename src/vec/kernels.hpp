@@ -1,0 +1,401 @@
+#pragma once
+
+/// \file kernels.hpp
+/// The vector-unit kernel bodies: contiguous-span elementwise kernels and
+/// fixed-lane partial reductions, each in a SIMD variant (restrict-qualified
+/// operands, vectorization hints) and a scalar variant (vectorization
+/// suppressed) that executes the *same arithmetic in the same order*.
+///
+/// Determinism rule: a reduction over a span folds into `kLanes` accumulator
+/// lanes — element j lands in lane j mod kLanes — and the lanes are folded
+/// in ascending order at the end. Both variants implement exactly this
+/// recurrence, so `DPF_SIMD=off` is bit-identical to `DPF_SIMD=on`; the
+/// toggle changes only code generation, never the float-point result. The
+/// lane count is a fixed constant (never derived from the chunk size or the
+/// worker count), so results are also stable across `DPF_WORKERS` settings.
+///
+/// Callers dispatch through the wrappers in vec.hpp, which also guard the
+/// restrict-qualified variants against aliased operands.
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/types.hpp"
+
+// Vectorization control. The SIMD variants assert independence of loop
+// iterations (the wrappers in vec.hpp only route here when the operand
+// spans cannot alias); the scalar variants pin the compiler to straight
+// scalar code so DPF_SIMD=off is a genuine A/B baseline.
+#if defined(__GNUC__) && !defined(__clang__)
+#define DPF_VEC_IVDEP _Pragma("GCC ivdep")
+// GCC's optimize attribute REBUILDS the function's optimization flags from
+// the -O level defaults, dropping command-line options like
+// -ffp-contract=off — which would let the scalar variant contract a*b+c
+// into an FMA and break bit-identity with the SIMD variant. fp-contract
+// must therefore be re-pinned inside the attribute.
+#define DPF_VEC_NOSIMD                                        \
+  __attribute__((optimize("no-tree-vectorize",                \
+                          "no-tree-slp-vectorize",            \
+                          "fp-contract=off")))
+#elif defined(__clang__)
+#define DPF_VEC_IVDEP _Pragma("clang loop vectorize(enable)")
+#define DPF_VEC_NOSIMD
+#else
+#define DPF_VEC_IVDEP
+#define DPF_VEC_NOSIMD
+#endif
+
+namespace dpf::vec {
+
+/// Accumulator-lane width of every reduction kernel. Fixed at 8 — two SSE2
+/// double vectors, one AVX-512 — independent of type, chunking, and worker
+/// count, so the fold order is an architectural constant of the layer.
+inline constexpr index_t kLanes = 8;
+
+namespace detail {
+
+// ---------------------------------------------------------------- elementwise
+
+template <typename T>
+inline void fill_simd(T* __restrict dst, index_t n, T v) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void fill_scalar(T* dst, index_t n, T v) {
+  for (index_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+template <typename T>
+inline void copy_simd(const T* __restrict src, T* __restrict dst, index_t n) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void copy_scalar(const T* src, T* dst, index_t n) {
+  for (index_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+template <typename T>
+inline void axpy_simd(T a, const T* __restrict x, T* __restrict y, index_t n) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void axpy_scalar(T a, const T* x, T* y, index_t n) {
+  for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// Small dense row-major matmul dst = a * m (all l x l): row i of dst
+/// accumulates a(i, k) * m(k, :) over ascending k, so every element sees
+/// the same additions in the same order as the classic inner-product loop
+/// — and every access is a contiguous row (no strided loads). Used by the
+/// per-site matrix-chain kernels (fermion); operands must not alias.
+template <typename T>
+inline void matmul_simd(const T* __restrict a, const T* __restrict m,
+                        T* __restrict dst, index_t l) {
+  for (index_t i = 0; i < l; ++i) {
+    T* __restrict drow = dst + i * l;
+    for (index_t j = 0; j < l; ++j) drow[j] = T{};
+    for (index_t k = 0; k < l; ++k) {
+      const T aik = a[i * l + k];
+      const T* __restrict mrow = m + k * l;
+      DPF_VEC_IVDEP
+      for (index_t j = 0; j < l; ++j) drow[j] += aik * mrow[j];
+    }
+  }
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void matmul_scalar(const T* a, const T* m, T* dst, index_t l) {
+  for (index_t i = 0; i < l; ++i) {
+    T* drow = dst + i * l;
+    for (index_t j = 0; j < l; ++j) drow[j] = T{};
+    for (index_t k = 0; k < l; ++k) {
+      const T aik = a[i * l + k];
+      const T* mrow = m + k * l;
+      for (index_t j = 0; j < l; ++j) drow[j] += aik * mrow[j];
+    }
+  }
+}
+
+template <typename T>
+inline void scale_simd(T* __restrict x, index_t n, T a) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void scale_scalar(T* x, index_t n, T a) {
+  for (index_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+template <typename T>
+inline void add_simd(const T* __restrict a, const T* __restrict b,
+                     T* __restrict dst, index_t n) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void add_scalar_arrays(const T* a, const T* b, T* dst,
+                                      index_t n) {
+  for (index_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+template <typename T>
+inline void mul_simd(const T* __restrict a, const T* __restrict b,
+                     T* __restrict dst, index_t n) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void mul_scalar(const T* a, const T* b, T* dst, index_t n) {
+  for (index_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+template <typename T>
+inline void add_scalar_simd(T* __restrict x, index_t n, T v) {
+  DPF_VEC_IVDEP
+  for (index_t i = 0; i < n; ++i) x[i] += v;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD void add_scalar_scalar(T* x, index_t n, T v) {
+  for (index_t i = 0; i < n; ++i) x[i] += v;
+}
+
+// ----------------------------------------------------------- lane reductions
+//
+// The SIMD variants walk full kLanes-wide tiles with an unrolled inner loop
+// (SLP-vectorizable straight-line code) and push the remainder through the
+// same j mod kLanes lane pattern; the scalar variants run the plain lane
+// recurrence. Per-lane operand sequences are identical either way.
+
+template <typename T>
+inline T fold_sum(const T (&lane)[kLanes]) {
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc += lane[l];
+  return acc;
+}
+
+template <typename T>
+inline T sum_simd(const T* __restrict x, index_t n) {
+  T lane[kLanes] = {};
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) lane[l] += x[j + l];
+  }
+  for (index_t j = nb; j < n; ++j) lane[j & (kLanes - 1)] += x[j];
+  return fold_sum(lane);
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T sum_scalar(const T* x, index_t n) {
+  T lane[kLanes] = {};
+  for (index_t j = 0; j < n; ++j) lane[j & (kLanes - 1)] += x[j];
+  return fold_sum(lane);
+}
+
+template <typename T>
+inline T dot_simd(const T* __restrict a, const T* __restrict b, index_t n) {
+  T lane[kLanes] = {};
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) lane[l] += a[j + l] * b[j + l];
+  }
+  for (index_t j = nb; j < n; ++j) lane[j & (kLanes - 1)] += a[j] * b[j];
+  return fold_sum(lane);
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T dot_scalar(const T* a, const T* b, index_t n) {
+  T lane[kLanes] = {};
+  for (index_t j = 0; j < n; ++j) lane[j & (kLanes - 1)] += a[j] * b[j];
+  return fold_sum(lane);
+}
+
+// Masked sum: HPF execution semantics touch every element, but only the
+// unmasked values enter a lane (a `+= 0` would flip -0.0 signs).
+template <typename T>
+inline T sum_masked_simd(const T* __restrict x, const std::uint8_t* __restrict m,
+                         index_t n) {
+  T lane[kLanes] = {};
+  for (index_t j = 0; j < n; ++j) {
+    if (m[j]) lane[j & (kLanes - 1)] += x[j];
+  }
+  return fold_sum(lane);
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T sum_masked_scalar(const T* x, const std::uint8_t* m,
+                                   index_t n) {
+  T lane[kLanes] = {};
+  for (index_t j = 0; j < n; ++j) {
+    if (m[j]) lane[j & (kLanes - 1)] += x[j];
+  }
+  return fold_sum(lane);
+}
+
+template <typename T>
+inline T product_simd(const T* __restrict x, index_t n) {
+  T lane[kLanes];
+  for (index_t l = 0; l < kLanes; ++l) lane[l] = T{1};
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) lane[l] *= x[j + l];
+  }
+  for (index_t j = nb; j < n; ++j) lane[j & (kLanes - 1)] *= x[j];
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc *= lane[l];
+  return acc;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T product_scalar(const T* x, index_t n) {
+  T lane[kLanes];
+  for (index_t l = 0; l < kLanes; ++l) lane[l] = T{1};
+  for (index_t j = 0; j < n; ++j) lane[j & (kLanes - 1)] *= x[j];
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc *= lane[l];
+  return acc;
+}
+
+// Min/max/absmax are exact selections, so lane order cannot change the
+// result (absent NaN); the lane structure exists purely for throughput.
+// Lanes seed from x[0], which requires n >= 1 (asserted by the wrappers).
+
+template <typename T>
+inline T max_simd(const T* __restrict x, index_t n) {
+  T lane[kLanes];
+  for (index_t l = 0; l < kLanes; ++l) lane[l] = x[0];
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) lane[l] = std::max(lane[l], x[j + l]);
+  }
+  for (index_t j = nb; j < n; ++j) {
+    const index_t l = j & (kLanes - 1);
+    lane[l] = std::max(lane[l], x[j]);
+  }
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc = std::max(acc, lane[l]);
+  return acc;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T max_scalar(const T* x, index_t n) {
+  T lane[kLanes];
+  for (index_t l = 0; l < kLanes; ++l) lane[l] = x[0];
+  for (index_t j = 0; j < n; ++j) {
+    const index_t l = j & (kLanes - 1);
+    lane[l] = std::max(lane[l], x[j]);
+  }
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc = std::max(acc, lane[l]);
+  return acc;
+}
+
+template <typename T>
+inline T min_simd(const T* __restrict x, index_t n) {
+  T lane[kLanes];
+  for (index_t l = 0; l < kLanes; ++l) lane[l] = x[0];
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) lane[l] = std::min(lane[l], x[j + l]);
+  }
+  for (index_t j = nb; j < n; ++j) {
+    const index_t l = j & (kLanes - 1);
+    lane[l] = std::min(lane[l], x[j]);
+  }
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc = std::min(acc, lane[l]);
+  return acc;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T min_scalar(const T* x, index_t n) {
+  T lane[kLanes];
+  for (index_t l = 0; l < kLanes; ++l) lane[l] = x[0];
+  for (index_t j = 0; j < n; ++j) {
+    const index_t l = j & (kLanes - 1);
+    lane[l] = std::min(lane[l], x[j]);
+  }
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc = std::min(acc, lane[l]);
+  return acc;
+}
+
+template <typename T>
+inline T absmax_simd(const T* __restrict x, index_t n) {
+  T lane[kLanes] = {};
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) {
+      lane[l] = std::max(lane[l], static_cast<T>(std::abs(x[j + l])));
+    }
+  }
+  for (index_t j = nb; j < n; ++j) {
+    const index_t l = j & (kLanes - 1);
+    lane[l] = std::max(lane[l], static_cast<T>(std::abs(x[j])));
+  }
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc = std::max(acc, lane[l]);
+  return acc;
+}
+
+template <typename T>
+DPF_VEC_NOSIMD T absmax_scalar(const T* x, index_t n) {
+  T lane[kLanes] = {};
+  for (index_t j = 0; j < n; ++j) {
+    const index_t l = j & (kLanes - 1);
+    lane[l] = std::max(lane[l], static_cast<T>(std::abs(x[j])));
+  }
+  T acc = lane[0];
+  for (index_t l = 1; l < kLanes; ++l) acc = std::max(acc, lane[l]);
+  return acc;
+}
+
+inline index_t count_true_simd(const std::uint8_t* __restrict m, index_t n) {
+  index_t lane[kLanes] = {};
+  const index_t nb = n & ~(kLanes - 1);
+  for (index_t j = 0; j < nb; j += kLanes) {
+    for (index_t l = 0; l < kLanes; ++l) lane[l] += (m[j + l] != 0);
+  }
+  for (index_t j = nb; j < n; ++j) lane[j & (kLanes - 1)] += (m[j] != 0);
+  index_t acc = 0;
+  for (index_t l = 0; l < kLanes; ++l) acc += lane[l];
+  return acc;
+}
+
+DPF_VEC_NOSIMD inline index_t count_true_scalar(const std::uint8_t* m,
+                                                index_t n) {
+  index_t lane[kLanes] = {};
+  for (index_t j = 0; j < n; ++j) lane[j & (kLanes - 1)] += (m[j] != 0);
+  index_t acc = 0;
+  for (index_t l = 0; l < kLanes; ++l) acc += lane[l];
+  return acc;
+}
+
+// ------------------------------------------------------------- functor sweep
+
+/// fn(i) for i in [lo, hi) with iteration independence asserted. Only valid
+/// for bodies that never read an element another iteration writes (the
+/// documented contract of assign/update/forall, whose bodies would race
+/// across VPs otherwise).
+template <typename F>
+inline void map_simd(index_t lo, index_t hi, F&& fn) {
+  DPF_VEC_IVDEP
+  for (index_t i = lo; i < hi; ++i) fn(i);
+}
+
+template <typename F>
+DPF_VEC_NOSIMD void map_scalar(index_t lo, index_t hi, F&& fn) {
+  for (index_t i = lo; i < hi; ++i) fn(i);
+}
+
+}  // namespace detail
+}  // namespace dpf::vec

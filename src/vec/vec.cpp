@@ -1,0 +1,51 @@
+#include "vec/vec.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpf::vec {
+
+namespace detail {
+std::atomic<int> g_mode{-1};
+}  // namespace detail
+
+namespace {
+
+int parse_env() {
+  const char* s = std::getenv("DPF_SIMD");
+  if (s == nullptr || *s == '\0') return 1;
+  if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0 ||
+      std::strcmp(s, "false") == 0) {
+    return 0;
+  }
+  if (std::strcmp(s, "on") == 0 || std::strcmp(s, "1") == 0 ||
+      std::strcmp(s, "true") == 0) {
+    return 1;
+  }
+  std::fprintf(stderr,
+               "dpf: ignoring DPF_SIMD=\"%s\" (expected on|off|1|0|true|false);"
+               " using default on\n",
+               s);
+  return 1;
+}
+
+}  // namespace
+
+namespace detail {
+
+int init_mode() {
+  const int parsed = parse_env();
+  int expected = -1;
+  g_mode.compare_exchange_strong(expected, parsed, std::memory_order_relaxed);
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace dpf::vec

@@ -1,0 +1,215 @@
+#pragma once
+
+/// \file vec.hpp
+/// dpf::vec — the per-node vector-unit layer.
+///
+/// The paper's CM-5 pairs every processing node with vector units, and its
+/// FLOP-rate tables assume the elementwise and reduction inner loops run at
+/// vector speed. This layer is the reproduction's stand-in: contiguous-span
+/// kernels (fill/copy/axpy/scale/add/mul), fixed-lane partial reductions
+/// (sum/dot/min/max/product/count), and a hinted functor sweep (`map`) used
+/// by assign/update/forall and the stencil interior. Kernels are dispatched
+/// *inside* existing SPMD region bodies, per VP block, so busy time, FLOP
+/// accounting and trace spans are untouched — only the inner loop changes.
+///
+/// Runtime toggle: `DPF_SIMD=off|0|false` selects the scalar variants
+/// (vectorization suppressed) for A/B runs; anything else — including unset
+/// — selects the SIMD variants. Both variants execute identical arithmetic
+/// in identical order (see kernels.hpp), so the toggle never changes a
+/// result bit. `set_enabled()` flips the mode at runtime for tests.
+///
+/// The restrict-qualified SIMD variants require non-overlapping operands;
+/// every wrapper below falls back to the scalar variant when the operand
+/// spans alias, so callers may pass aliased arrays safely.
+
+#include <atomic>
+#include <cassert>
+
+#include "core/types.hpp"
+#include "vec/kernels.hpp"
+
+namespace dpf::vec {
+
+namespace detail {
+/// -1 = not yet resolved from the environment; 0 = scalar; 1 = simd.
+extern std::atomic<int> g_mode;
+/// Slow path: parses DPF_SIMD once and publishes the mode.
+int init_mode();
+}  // namespace detail
+
+/// True when the SIMD kernel variants are selected (DPF_SIMD env, default
+/// on; overridable at runtime with set_enabled). The hot path is a single
+/// relaxed load so per-kernel-call dispatch stays negligible.
+[[nodiscard]] inline bool enabled() {
+  const int m = detail::g_mode.load(std::memory_order_relaxed);
+  return (m >= 0 ? m : detail::init_mode()) != 0;
+}
+
+/// Overrides the DPF_SIMD mode at runtime (A/B testing hook).
+void set_enabled(bool on);
+
+namespace detail {
+
+/// [a, a+n) and [b, b+n) overlap?
+template <typename T, typename U>
+[[nodiscard]] inline bool overlap(const T* a, const U* b, index_t n) {
+  const void* alo = a;
+  const void* ahi = a + n;
+  const void* blo = b;
+  const void* bhi = b + n;
+  return alo < bhi && blo < ahi;
+}
+
+}  // namespace detail
+
+/// dst[i] = v.
+template <typename T>
+inline void fill(T* dst, index_t n, T v) {
+  if (enabled()) {
+    detail::fill_simd(dst, n, v);
+  } else {
+    detail::fill_scalar(dst, n, v);
+  }
+}
+
+/// dst[i] = src[i]. Aliased spans fall back to the scalar kernel (a full
+/// alias is a no-op either way; partial overlap is the caller's bug, as it
+/// always was).
+template <typename T>
+inline void copy(const T* src, T* dst, index_t n) {
+  if (enabled() && !detail::overlap(src, dst, n)) {
+    detail::copy_simd(src, dst, n);
+  } else {
+    detail::copy_scalar(src, dst, n);
+  }
+}
+
+/// Small dense row-major matmul dst = a * m (all l x l, non-aliasing).
+/// Element order matches the classic inner-product loop (ascending k), so
+/// results are bit-identical across modes and to the naive formulation.
+template <typename T>
+inline void matmul(const T* a, const T* m, T* dst, index_t l) {
+  assert(!detail::overlap(a, dst, l * l) && !detail::overlap(m, dst, l * l));
+  if (enabled()) {
+    detail::matmul_simd(a, m, dst, l);
+  } else {
+    detail::matmul_scalar(a, m, dst, l);
+  }
+}
+
+/// y[i] += a * x[i].
+template <typename T>
+inline void axpy(T a, const T* x, T* y, index_t n) {
+  if (enabled() && !detail::overlap(x, y, n)) {
+    detail::axpy_simd(a, x, y, n);
+  } else {
+    detail::axpy_scalar(a, x, y, n);
+  }
+}
+
+/// x[i] *= a.
+template <typename T>
+inline void scale(T* x, index_t n, T a) {
+  if (enabled()) {
+    detail::scale_simd(x, n, a);
+  } else {
+    detail::scale_scalar(x, n, a);
+  }
+}
+
+/// dst[i] = a[i] + b[i].
+template <typename T>
+inline void add(const T* a, const T* b, T* dst, index_t n) {
+  if (enabled() && !detail::overlap(a, dst, n) &&
+      !detail::overlap(b, dst, n)) {
+    detail::add_simd(a, b, dst, n);
+  } else {
+    detail::add_scalar_arrays(a, b, dst, n);
+  }
+}
+
+/// dst[i] = a[i] * b[i].
+template <typename T>
+inline void mul(const T* a, const T* b, T* dst, index_t n) {
+  if (enabled() && !detail::overlap(a, dst, n) &&
+      !detail::overlap(b, dst, n)) {
+    detail::mul_simd(a, b, dst, n);
+  } else {
+    detail::mul_scalar(a, b, dst, n);
+  }
+}
+
+/// x[i] += v.
+template <typename T>
+inline void add_scalar(T* x, index_t n, T v) {
+  if (enabled()) {
+    detail::add_scalar_simd(x, n, v);
+  } else {
+    detail::add_scalar_scalar(x, n, v);
+  }
+}
+
+/// Lane-deterministic sum of x[0..n).
+template <typename T>
+[[nodiscard]] inline T sum(const T* x, index_t n) {
+  return enabled() ? detail::sum_simd(x, n) : detail::sum_scalar(x, n);
+}
+
+/// Lane-deterministic inner product sum(a[i] * b[i]).
+template <typename T>
+[[nodiscard]] inline T dot(const T* a, const T* b, index_t n) {
+  return enabled() ? detail::dot_simd(a, b, n) : detail::dot_scalar(a, b, n);
+}
+
+/// Lane-deterministic masked sum (only unmasked values enter a lane).
+template <typename T>
+[[nodiscard]] inline T sum_masked(const T* x, const std::uint8_t* m,
+                                  index_t n) {
+  return enabled() ? detail::sum_masked_simd(x, m, n)
+                   : detail::sum_masked_scalar(x, m, n);
+}
+
+/// Lane-deterministic product of x[0..n).
+template <typename T>
+[[nodiscard]] inline T product(const T* x, index_t n) {
+  return enabled() ? detail::product_simd(x, n) : detail::product_scalar(x, n);
+}
+
+/// Maximum of x[0..n); requires n >= 1.
+template <typename T>
+[[nodiscard]] inline T max(const T* x, index_t n) {
+  assert(n >= 1);
+  return enabled() ? detail::max_simd(x, n) : detail::max_scalar(x, n);
+}
+
+/// Minimum of x[0..n); requires n >= 1.
+template <typename T>
+[[nodiscard]] inline T min(const T* x, index_t n) {
+  assert(n >= 1);
+  return enabled() ? detail::min_simd(x, n) : detail::min_scalar(x, n);
+}
+
+/// max(|x[i]|) with an implicit zero seed (the convergence-check reduction).
+template <typename T>
+[[nodiscard]] inline T absmax(const T* x, index_t n) {
+  return enabled() ? detail::absmax_simd(x, n) : detail::absmax_scalar(x, n);
+}
+
+/// Number of nonzero mask bytes.
+[[nodiscard]] inline index_t count_true(const std::uint8_t* m, index_t n) {
+  return enabled() ? detail::count_true_simd(m, n)
+                   : detail::count_true_scalar(m, n);
+}
+
+/// fn(i) for i in [lo, hi), iteration-independent (assign/update/forall
+/// contract: the body may not read an element another iteration writes).
+template <typename F>
+inline void map(index_t lo, index_t hi, F&& fn) {
+  if (enabled()) {
+    detail::map_simd(lo, hi, fn);
+  } else {
+    detail::map_scalar(lo, hi, fn);
+  }
+}
+
+}  // namespace dpf::vec

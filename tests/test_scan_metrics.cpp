@@ -1,0 +1,156 @@
+// ScanMetrics regression tests: pin the FLOP accounting of every scan
+// variant to the paper's sequential cost (N-1 weighted FLOPs for an
+// N-element sum scan, section 1.5 attribute 1), and pin the exclusive
+// variant to the bitwise result of shifting the inclusive scan — the
+// contract the fold-in offset-fix pass (scan.hpp pass 2) must preserve.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "comm/scan.hpp"
+#include "core/flops.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+#include "core/rng.hpp"
+
+namespace dpf {
+namespace {
+
+class ScanMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { flops::reset(); }
+  void TearDown() override {
+    Machine::instance().configure(Machine::default_vps());
+  }
+
+  static Array<double, 1> iota_vector(index_t n) {
+    auto v = make_vector<double>(n);
+    for (index_t i = 0; i < n; ++i) {
+      v[i] = 0.25 * static_cast<double>(i + 1);
+    }
+    return v;
+  }
+};
+
+TEST_F(ScanMetricsTest, InclusiveScanCostsExactlyNMinusOne) {
+  const index_t n = 100;
+  auto v = iota_vector(n);
+  auto dst = make_vector<double>(n);
+  flops::reset();
+  comm::scan_sum_into(dst, v);
+  EXPECT_EQ(flops::total(), n - 1);
+}
+
+TEST_F(ScanMetricsTest, ExclusiveScanCostsExactlyNMinusOne) {
+  const index_t n = 100;
+  auto v = iota_vector(n);
+  auto dst = make_vector<double>(n);
+  flops::reset();
+  comm::scan_sum_into(dst, v, /*exclusive=*/true);
+  EXPECT_EQ(flops::total(), n - 1);
+}
+
+TEST_F(ScanMetricsTest, EmptyAndSingletonScansCostZero) {
+  for (const bool exclusive : {false, true}) {
+    for (const index_t n : {index_t{0}, index_t{1}}) {
+      auto v = iota_vector(n);
+      auto dst = make_vector<double>(n);
+      flops::reset();
+      comm::scan_sum_into(dst, v, exclusive);
+      EXPECT_EQ(flops::total(), 0) << "n=" << n << " ex=" << exclusive;
+      if (n == 1) {
+        EXPECT_EQ(dst[0], exclusive ? 0.0 : v[0]);
+      }
+    }
+  }
+}
+
+TEST_F(ScanMetricsTest, SegmentedScanCostsExactlyNMinusOne) {
+  const index_t n = 64;
+  auto v = iota_vector(n);
+  auto dst = make_vector<double>(n);
+  Array<std::uint8_t, 1> seg{Shape<1>(n)};
+  // Leading segment start plus restarts every 10 elements.
+  for (index_t i = 0; i < n; ++i) seg[i] = (i % 10 == 0) ? 1 : 0;
+  flops::reset();
+  comm::segmented_scan_sum_into(dst, v, seg);
+  EXPECT_EQ(flops::total(), n - 1);
+
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    if (seg[i]) acc = 0.0;
+    acc += v[i];
+    EXPECT_EQ(dst[i], acc) << "i=" << i;
+  }
+}
+
+TEST_F(ScanMetricsTest, SegmentedScanEdgeSizesCostZero) {
+  for (const index_t n : {index_t{0}, index_t{1}}) {
+    auto v = iota_vector(n);
+    auto dst = make_vector<double>(n);
+    Array<std::uint8_t, 1> seg{Shape<1>(n)};
+    if (n == 1) seg[0] = 1;
+    flops::reset();
+    comm::segmented_scan_sum_into(dst, v, seg);
+    EXPECT_EQ(flops::total(), 0) << "n=" << n;
+    if (n == 1) {
+      EXPECT_EQ(dst[0], v[0]);
+    }
+  }
+}
+
+TEST_F(ScanMetricsTest, AxisScanCostsNMinusOnePerLine) {
+  const index_t rows = 4, cols = 10;
+  Array<double, 2> src{Shape<2>(rows, cols)};
+  Array<double, 2> dst{Shape<2>(rows, cols)};
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) src(i, j) = 1.0 + 0.5 * (i + j);
+  }
+  flops::reset();
+  comm::scan_sum_axis_into(dst, src, 1);
+  EXPECT_EQ(flops::total(), (cols - 1) * rows);
+}
+
+TEST_F(ScanMetricsTest, MoreProcsThanElementsStillCountsNMinusOne) {
+  Machine::instance().configure(8);
+  const index_t n = 5;
+  auto v = iota_vector(n);
+  auto dst = make_vector<double>(n);
+  flops::reset();
+  comm::scan_sum_into(dst, v);
+  EXPECT_EQ(flops::total(), n - 1);
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    acc += v[i];
+    EXPECT_EQ(dst[i], acc);
+  }
+}
+
+// The exclusive fold-in pass must reproduce, bit for bit, what the old
+// serial post-pass produced: the inclusive scan shifted right by one with
+// a leading zero.
+TEST_F(ScanMetricsTest, ExclusiveIsBitwiseShiftedInclusiveAcrossVpCounts) {
+  const index_t n = 137;  // odd size: uneven blocks for most vp counts
+  for (const int vps : {1, 2, 3, 8, 16}) {
+    Machine::instance().configure(vps);
+    auto v = make_vector<double>(n);
+    const Rng rng(static_cast<std::uint64_t>(n + vps));
+    for (index_t i = 0; i < n; ++i) {
+      v[i] = rng.uniform(static_cast<std::uint64_t>(i), -1, 1);
+    }
+    auto inc = make_vector<double>(n);
+    auto ex = make_vector<double>(n);
+    comm::scan_sum_into(inc, v);
+    comm::scan_sum_into(ex, v, /*exclusive=*/true);
+    EXPECT_EQ(std::memcmp(&ex[0], "\0\0\0\0\0\0\0\0", sizeof(double)), 0)
+        << "vps=" << vps;
+    for (index_t i = 1; i < n; ++i) {
+      ASSERT_EQ(std::memcmp(&ex[i], &inc[i - 1], sizeof(double)), 0)
+          << "vps=" << vps << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpf

@@ -1,0 +1,258 @@
+// Bit-identity tests for the dpf::vec vector-unit layer: the SIMD and
+// scalar kernel variants must produce byte-identical results for every
+// size (including lane-width remainders), every element type, and every
+// worker count — and flipping DPF_SIMD must not move a single bit of any
+// registered benchmark's validation checksums.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/reduce.hpp"
+#include "comm/scan.hpp"
+#include "core/machine.hpp"
+#include "core/ops.hpp"
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "suite/register_all.hpp"
+#include "vec/vec.hpp"
+
+namespace dpf {
+namespace {
+
+// Sizes straddling the 8-wide lane blocking: empty, sub-lane, exact
+// multiples, one-off remainders, and larger mixed cases.
+const index_t kSizes[] = {0,  1,  2,  3,  7,   8,   9,   15,  16,
+                          17, 31, 32, 33, 64, 100, 127, 128, 257};
+
+template <typename T>
+bool bit_equal(const T& a, const T& b) {
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+template <typename T>
+bool bit_equal_span(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+// Deterministic signed test pattern with non-trivial low mantissa bits.
+template <typename T>
+std::vector<T> pattern(index_t n, int salt) {
+  std::vector<T> v(static_cast<std::size_t>(n));
+  std::uint64_t state = 0x9E3779B97F4A7C15ull + static_cast<unsigned>(salt);
+  for (auto& x : v) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const auto r = static_cast<std::int64_t>(state >> 40);
+    x = static_cast<T>(r % 2001 - 1000) / static_cast<T>(7);
+  }
+  return v;
+}
+
+// Integer pattern stays in {-1, 0, 1} so product/dot over any test size
+// cannot overflow (signed overflow is UB); integer kernels are exact, so
+// the identity check loses nothing from the small range.
+template <>
+std::vector<std::int32_t> pattern<std::int32_t>(index_t n, int salt) {
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  std::uint64_t state = 0xDEADBEEFull + static_cast<unsigned>(salt);
+  for (auto& x : v) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    x = static_cast<std::int32_t>((state >> 45) % 3) - 1;
+  }
+  return v;
+}
+
+class VecTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    vec::set_enabled(true);
+    unsetenv("DPF_WORKERS");
+    Machine::instance().configure(Machine::default_vps());
+  }
+};
+
+// Runs `fn` once with the SIMD variants and once with the scalar variants
+// and returns the two results for comparison.
+template <typename F>
+auto both_modes(F&& fn) {
+  vec::set_enabled(true);
+  auto simd = fn();
+  vec::set_enabled(false);
+  auto scalar = fn();
+  vec::set_enabled(true);
+  return std::pair{simd, scalar};
+}
+
+template <typename T>
+void expect_kernel_identity() {
+  for (const index_t n : kSizes) {
+    SCOPED_TRACE(testing::Message() << "n=" << n);
+    const auto x = pattern<T>(n, 1);
+    const auto y = pattern<T>(n, 2);
+
+    // Reductions: both variants fold the same 8 lanes in the same order.
+    {
+      auto [s, r] = both_modes([&] { return vec::sum(x.data(), n); });
+      EXPECT_TRUE(bit_equal(s, r));
+    }
+    {
+      auto [s, r] =
+          both_modes([&] { return vec::dot(x.data(), y.data(), n); });
+      EXPECT_TRUE(bit_equal(s, r));
+    }
+    {
+      auto [s, r] = both_modes([&] { return vec::product(x.data(), n); });
+      EXPECT_TRUE(bit_equal(s, r));
+    }
+    {
+      auto [s, r] = both_modes([&] { return vec::absmax(x.data(), n); });
+      EXPECT_TRUE(bit_equal(s, r));
+    }
+    if (n >= 1) {
+      auto [mx, mx_r] = both_modes([&] { return vec::max(x.data(), n); });
+      EXPECT_TRUE(bit_equal(mx, mx_r));
+      auto [mn, mn_r] = both_modes([&] { return vec::min(x.data(), n); });
+      EXPECT_TRUE(bit_equal(mn, mn_r));
+    }
+    {
+      std::vector<std::uint8_t> m(static_cast<std::size_t>(n));
+      for (index_t i = 0; i < n; ++i) m[static_cast<std::size_t>(i)] = i % 3 != 0;
+      auto [s, r] = both_modes(
+          [&] { return vec::sum_masked(x.data(), m.data(), n); });
+      EXPECT_TRUE(bit_equal(s, r));
+      auto [c, c_r] =
+          both_modes([&] { return vec::count_true(m.data(), n); });
+      EXPECT_EQ(c, c_r);
+    }
+
+    // Elementwise spans.
+    {
+      auto [s, r] = both_modes([&] {
+        std::vector<T> d(static_cast<std::size_t>(n), T{});
+        vec::fill(d.data(), n, static_cast<T>(3));
+        return d;
+      });
+      EXPECT_TRUE(bit_equal_span(s, r));
+    }
+    {
+      auto [s, r] = both_modes([&] {
+        std::vector<T> d(static_cast<std::size_t>(n), T{});
+        vec::copy(x.data(), d.data(), n);
+        return d;
+      });
+      EXPECT_TRUE(bit_equal_span(s, r));
+    }
+    {
+      auto [s, r] = both_modes([&] {
+        std::vector<T> d = y;
+        vec::axpy(static_cast<T>(3), x.data(), d.data(), n);
+        return d;
+      });
+      EXPECT_TRUE(bit_equal_span(s, r));
+    }
+    {
+      auto [s, r] = both_modes([&] {
+        std::vector<T> d = x;
+        vec::scale(d.data(), n, static_cast<T>(-2));
+        vec::add_scalar(d.data(), n, static_cast<T>(5));
+        return d;
+      });
+      EXPECT_TRUE(bit_equal_span(s, r));
+    }
+    {
+      auto [s, r] = both_modes([&] {
+        std::vector<T> d(static_cast<std::size_t>(n), T{});
+        vec::add(x.data(), y.data(), d.data(), n);
+        vec::mul(x.data(), d.data(), d.data(), n);  // aliased: falls back
+        return d;
+      });
+      EXPECT_TRUE(bit_equal_span(s, r));
+    }
+  }
+}
+
+TEST_F(VecTest, SimdAndScalarKernelsBitIdenticalDouble) {
+  expect_kernel_identity<double>();
+}
+
+TEST_F(VecTest, SimdAndScalarKernelsBitIdenticalFloat) {
+  expect_kernel_identity<float>();
+}
+
+TEST_F(VecTest, SimdAndScalarKernelsBitIdenticalInt32) {
+  expect_kernel_identity<std::int32_t>();
+}
+
+TEST_F(VecTest, AliasedOperandsFallBackCorrectly) {
+  const index_t n = 100;
+  const auto x = pattern<double>(n, 7);
+  // y aliases x via the same buffer: axpy must still produce y + a*x.
+  std::vector<double> buf = x;
+  vec::set_enabled(true);
+  vec::axpy(2.0, buf.data(), buf.data(), n);
+  for (index_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(buf[idx], x[idx] + 2.0 * x[idx]);
+  }
+  // Full-alias copy is a no-op, not UB.
+  vec::copy(buf.data(), buf.data(), n);
+}
+
+// Array-level reductions and scans: identical bits across SIMD on/off and
+// across worker counts (the lane fold depends on neither).
+TEST_F(VecTest, ArrayReductionsStableAcrossSimdModeAndWorkers) {
+  const index_t n = 1003;
+  std::map<std::string, std::vector<double>> results;
+  for (const char* workers : {"1", "4"}) {
+    setenv("DPF_WORKERS", workers, 1);
+    Machine::instance().configure(16);
+    for (const bool simd : {true, false}) {
+      vec::set_enabled(simd);
+      auto v = make_vector<double>(n);
+      auto w = make_vector<double>(n);
+      const Rng rng(0xBEEF);
+      for (index_t i = 0; i < n; ++i) {
+        v[i] = rng.uniform(static_cast<std::uint64_t>(i), -1, 1);
+        w[i] = rng.uniform(static_cast<std::uint64_t>(i) + 70000, -1, 1);
+      }
+      auto scan = make_vector<double>(n);
+      comm::scan_sum_into(scan, v);
+      std::vector<double> out = {comm::reduce_sum(v), comm::dot(v, w),
+                                 comm::reduce_max(v), comm::reduce_min(v),
+                                 comm::reduce_absmax(v), scan[n - 1]};
+      results[std::string(workers) + (simd ? "/simd" : "/scalar")] = out;
+    }
+  }
+  const auto& ref = results.begin()->second;
+  for (const auto& [key, out] : results) {
+    EXPECT_TRUE(bit_equal_span(ref, out)) << key;
+  }
+}
+
+// The acceptance gate: every registered benchmark's validation checksums
+// are bit-identical with the vector unit on and off.
+TEST_F(VecTest, RegisteredBenchmarkChecksumsBitIdenticalAcrossSimdModes) {
+  register_all_benchmarks();
+  for (const auto* def : Registry::instance().all()) {
+    SCOPED_TRACE(def->name);
+    vec::set_enabled(true);
+    const auto on = def->run_with_defaults(RunConfig{});
+    vec::set_enabled(false);
+    const auto off = def->run_with_defaults(RunConfig{});
+    ASSERT_EQ(on.checks.size(), off.checks.size());
+    for (const auto& [key, value] : on.checks) {
+      const auto it = off.checks.find(key);
+      ASSERT_NE(it, off.checks.end()) << key;
+      EXPECT_TRUE(bit_equal(value, it->second))
+          << key << ": simd=" << value << " scalar=" << it->second;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpf
