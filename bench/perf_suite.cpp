@@ -11,7 +11,9 @@
 /// argv[1]) so the perf trajectory across PRs is diffable.
 ///
 /// `--smoke` runs one representative benchmark per group — a fast CI
-/// smoke of the whole metric pipeline. `--reps N` runs each benchmark N
+/// smoke of the whole metric pipeline. `--only a,b,c` restricts the run to
+/// the named benchmarks (the CI perf gate measures the comm-bound four
+/// this way). `--reps N` runs each benchmark N
 /// times and reports the best-of-N (minimum elapsed) repetition — the
 /// timings at default sizes are milliseconds, so best-of-N is what makes
 /// A/B comparisons (e.g. DPF_SIMD on vs off) stable. When DPF_TRACE is
@@ -21,6 +23,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -103,12 +106,25 @@ int main(int argc, char** argv) {
   bool smoke = false;
   int reps = 1;
   const char* path_arg = nullptr;
+  std::set<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
       if (reps < 1) reps = 1;
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      // Comma-separated benchmark names; everything else is skipped (the
+      // perf regression gate measures just the comm-bound set).
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) only.insert(list.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else {
       path_arg = argv[i];
     }
@@ -131,6 +147,7 @@ int main(int argc, char** argv) {
                   Group::Application}) {
     for (const auto* def : Registry::instance().by_group(g)) {
       if (smoke && !in_smoke_set(def->name)) continue;
+      if (!only.empty() && only.find(def->name) == only.end()) continue;
       auto r = def->run_with_defaults(RunConfig{});
       for (int rep = 1; rep < reps; ++rep) {
         auto rr = def->run_with_defaults(RunConfig{});

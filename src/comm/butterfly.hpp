@@ -68,13 +68,26 @@ void butterfly_into(Array<T, R>& dst, const Array<T, R>& src, index_t h) {
     });
   }
 
+  // The ownership sweep is a pure function of (h, shapes, layouts, p) —
+  // memoized so an FFT's log2(n) distinct stage distances each scan once
+  // across all iterations.
   index_t offproc = 0;
   if (p > 1) {
-    for (index_t i = 0; i < n; ++i) {
-      if (detail::owner_id_linear(dst, i) !=
-          detail::owner_id_linear(src, i ^ h)) {
-        offproc += static_cast<index_t>(sizeof(T));
+    detail::KeyHash key;
+    key.mix(static_cast<std::uint64_t>(p));
+    key.mix(static_cast<std::uint64_t>(h));
+    key.mix(sizeof(T));
+    key.mix_owner_structure(src, p);
+    key.mix_owner_structure(dst, p);
+    static thread_local detail::OffprocCache cache;
+    if (!cache.get(key.h, offproc)) {
+      for (index_t i = 0; i < n; ++i) {
+        if (detail::owner_id_linear(dst, i) !=
+            detail::owner_id_linear(src, i ^ h)) {
+          offproc += static_cast<index_t>(sizeof(T));
+        }
       }
+      cache.put(key.h, offproc);
     }
   }
   detail::record(CommPattern::Butterfly, static_cast<int>(R),

@@ -145,6 +145,149 @@ template <typename T, std::size_t R>
   return dst;
 }
 
+/// Split-phase circular shift — the double-buffered halo exchange. Under a
+/// message-passing DPF_NET mode, cshift_start posts the boundary messages
+/// and performs the locally-owned copies immediately; the remote halo
+/// elements of dst stay undefined until finish() consumes them. The caller
+/// computes between start and finish (interior work, other arrays) while
+/// the halo is in flight. Payloads are captured at start (the transport
+/// copies every message at post time and the local copies land before start
+/// returns), so the caller may overwrite src inside the window — the posted
+/// halos are immune to aliasing; only dst's halo stays unread until
+/// finish(). Under DPF_NET=direct the whole shift runs at start and
+/// finish() only closes the record — same contract, zero-length window.
+/// Results are bit-identical to cshift_into in every mode.
+template <typename T, std::size_t R>
+class [[nodiscard]] ShiftHandle {
+ public:
+  ShiftHandle(ShiftHandle&& o) noexcept
+      : dst_(o.dst_),
+        src_(o.src_),
+        net_(std::move(o.net_)),
+        pattern_(o.pattern_),
+        axis_(o.axis_),
+        sh_(o.sh_),
+        start_ns_(o.start_ns_),
+        post_end_ns_(o.post_end_ns_),
+        finished_(o.finished_) {
+    o.finished_ = true;  // moved-from shell owes no completion
+  }
+  ShiftHandle& operator=(ShiftHandle&&) = delete;
+  ShiftHandle(const ShiftHandle&) = delete;
+  ShiftHandle& operator=(const ShiftHandle&) = delete;
+  ~ShiftHandle() { assert(finished_); }
+
+  void finish() {
+    assert(!finished_);
+    if (src_->size() == 0 || src_->extent(axis_) == 0) {
+      finished_ = true;  // empty shift: nothing moved, nothing recorded
+      return;
+    }
+    const bool split = net_.pending();
+    const std::uint64_t f0 = trace::now_ns();
+    if (split) net_.complete();
+    const std::uint64_t f1 = trace::now_ns();
+
+    const index_t n = src_->extent(axis_);
+    const int p = Machine::instance().vps();
+    index_t offproc = 0;
+    const int procs_here = src_->layout().procs_on_axis(axis_, p);
+    if (procs_here > 1 && sh_ != 0) {
+      const index_t sh = sh_;
+      const index_t moved = detail::moved_slots(
+          n, [sh, n](index_t j) { return (j + sh) % n; }, src_->layout().dist(),
+          procs_here);
+      offproc = moved * (src_->bytes() / n);
+    }
+    if (split) {
+      if (trace::enabled(trace::Mode::Summary)) {
+        trace::overlap_span(static_cast<std::uint8_t>(pattern_),
+                            net_.posted_bytes(), post_end_ns_, f0, 0);
+      }
+      detail::record_split(
+          pattern_, static_cast<int>(R), static_cast<int>(R), src_->bytes(),
+          offproc, 0,
+          static_cast<double>((post_end_ns_ - start_ns_) + (f1 - f0)) * 1e-9,
+          static_cast<double>(f0 - post_end_ns_) * 1e-9);
+    } else {
+      detail::record(pattern_, static_cast<int>(R), static_cast<int>(R),
+                     src_->bytes(), offproc, 0,
+                     static_cast<double>(post_end_ns_ - start_ns_) * 1e-9);
+    }
+    finished_ = true;
+  }
+
+ private:
+  template <typename U, std::size_t RR>
+  friend ShiftHandle<U, RR> cshift_start(Array<U, RR>& dst,
+                                         const Array<U, RR>& src,
+                                         std::size_t axis, index_t s,
+                                         CommPattern pattern);
+
+  ShiftHandle() = default;
+
+  Array<T, R>* dst_ = nullptr;
+  const Array<T, R>* src_ = nullptr;
+  net::ExchangeHandle<T> net_;
+  CommPattern pattern_ = CommPattern::CShift;
+  std::size_t axis_ = 0;
+  index_t sh_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t post_end_ns_ = 0;
+  bool finished_ = false;
+};
+
+/// Starts a split-phase dst = cshift(src, axis, s); see ShiftHandle for the
+/// window contract. dst and src must outlive the handle and not alias.
+template <typename T, std::size_t R>
+[[nodiscard]] ShiftHandle<T, R> cshift_start(
+    Array<T, R>& dst, const Array<T, R>& src, std::size_t axis, index_t s,
+    CommPattern pattern = CommPattern::CShift) {
+  assert(dst.shape() == src.shape());
+  assert(axis < R);
+  assert(dst.data().data() != src.data().data());
+  ShiftHandle<T, R> h;
+  h.dst_ = &dst;
+  h.src_ = &src;
+  h.pattern_ = pattern;
+  h.axis_ = axis;
+  h.start_ns_ = trace::now_ns();
+  const index_t n = src.extent(axis);
+  if (n == 0 || src.size() == 0) {
+    h.post_end_ns_ = h.start_ns_;
+    return h;
+  }
+  const index_t st = src.shape().strides()[axis];
+  index_t sh = s % n;
+  if (sh < 0) sh += n;
+  h.sh_ = sh;
+  const index_t slab = n * st;
+  const index_t rot = sh * st;
+  const T* sp = src.data().data();
+  T* dp = dst.data().data();
+  const int p = Machine::instance().vps();
+  if (net::algorithmic() && p > 1) {
+    h.net_ = net::post_exchange(
+        dp, src.size(), sp,
+        [slab, rot](index_t L) {
+          const index_t base = (L / slab) * slab;
+          const index_t k = L - base + rot;
+          return base + (k < slab ? k : k - slab);
+        },
+        [&dst](index_t L) { return detail::owner_id_linear(dst, L); },
+        [&src](index_t j) { return detail::owner_id_linear(src, j); });
+    // The locally-sourced elements copy now (a second region), so the
+    // in-flight window that follows covers only the remote halo.
+    h.net_.complete_local();
+  } else {
+    parallel_range(src.size(), [&](index_t lo, index_t hi) {
+      shift_detail::rotate_range(dp, sp, slab, rot, lo, hi);
+    });
+  }
+  h.post_end_ns_ = trace::now_ns();
+  return h;
+}
+
 /// dst = eoshift(src, axis, s, boundary): elements shifted past the end are
 /// dropped; vacated positions take `boundary`. dst must not alias src.
 template <typename T, std::size_t R>

@@ -5,7 +5,9 @@
 /// classification of data movement under the block distribution of an
 /// array's distributed axis.
 
+#include <array>
 #include <chrono>
+#include <cstdint>
 
 #include "core/array.hpp"
 #include "core/comm_log.hpp"
@@ -33,6 +35,52 @@ class OpTimer {
  private:
   CommLog::RecordScope scope_;
   std::chrono::steady_clock::time_point t0_;
+};
+
+/// FNV-1a key accumulator for the off-processor-byte memo caches below.
+struct KeyHash {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  /// Folds in everything ownership classification of `a` depends on: rank,
+  /// per-axis extents, per-axis processor counts under p VPs, and the
+  /// distribution kind. Two arrays with equal folds place every linear
+  /// index on the same owner.
+  template <typename T, std::size_t R>
+  void mix_owner_structure(const Array<T, R>& a, int p) {
+    mix(R);
+    mix(static_cast<std::uint64_t>(static_cast<int>(a.layout().dist())));
+    for (std::size_t ax = 0; ax < R; ++ax) {
+      mix(static_cast<std::uint64_t>(a.extent(ax)));
+      mix(static_cast<std::uint64_t>(a.layout().procs_on_axis(ax, p)));
+    }
+  }
+};
+
+/// Direct-mapped thread-local memo for off-processor byte scans. The scans
+/// are pure functions of the arrays' ownership structure (plus, for
+/// irregular maps, the map contents), and the suite's apps re-issue the
+/// same operation shape every iteration — so each scan runs once per shape
+/// instead of once per call. Record-side only (control thread).
+struct OffprocCache {
+  struct Entry {
+    std::uint64_t key = 0;
+    index_t value = -1;
+  };
+  static constexpr std::size_t kSlots = 16;
+  std::array<Entry, kSlots> slots{};
+
+  [[nodiscard]] bool get(std::uint64_t k, index_t& out) const {
+    const Entry& e = slots[k % kSlots];
+    if (e.value >= 0 && e.key == k) {
+      out = e.value;
+      return true;
+    }
+    return false;
+  }
+  void put(std::uint64_t k, index_t v) { slots[k % kSlots] = {k, v}; }
 };
 
 /// True when two arrays share one backing store (full aliasing — the
@@ -121,6 +169,22 @@ inline void record(CommPattern pattern, int src_rank, int dst_rank,
                    double seconds = 0.0) {
   CommEvent e{pattern, src_rank, dst_rank, bytes, offproc_bytes, detail};
   e.seconds = seconds;
+  net::annotate(e);
+  CommLog::instance().record(e);
+}
+
+/// Records one *split-phase* event: `seconds` covers the posting and
+/// completion phases only, `overlap_seconds` is the in-flight window the
+/// caller spent computing between them. The cost model subtracts the
+/// window from its transfer prediction (cost_model.hpp), keeping
+/// predicted-vs-measured comparable for overlapped collectives.
+inline void record_split(CommPattern pattern, int src_rank, int dst_rank,
+                         index_t bytes, index_t offproc_bytes, index_t detail,
+                         double seconds, double overlap_seconds) {
+  CommEvent e{pattern, src_rank, dst_rank, bytes, offproc_bytes, detail};
+  e.seconds = seconds;
+  e.overlap_seconds = overlap_seconds;
+  e.split_phase = true;
   net::annotate(e);
   CommLog::instance().record(e);
 }

@@ -34,13 +34,32 @@ template <typename TD, typename TS, std::size_t RD, std::size_t RS>
                                     const Array<TS, RS>& src,
                                     const Array<index_t, RD>& map,
                                     bool map_indexes_src) {
-  if (Machine::instance().vps() <= 1) return 0;
+  const int p = Machine::instance().vps();
+  if (p <= 1) return 0;
+  // The double ownership scan costs two classifier calls per map element;
+  // the irregular apps (fem-3D, pic-*, md) re-issue the same constant map
+  // every timestep. Memoize on the ownership structures plus a fingerprint
+  // of the map contents — one multiply-xor per element instead of two
+  // coordinate-decode owner folds.
+  detail::KeyHash key;
+  key.mix(static_cast<std::uint64_t>(p));
+  key.mix(map_indexes_src ? 1 : 0);
+  key.mix(sizeof(TS));
+  key.mix(static_cast<std::uint64_t>(map.size()));
+  key.mix_owner_structure(dst, p);
+  key.mix_owner_structure(src, p);
+  for (index_t i = 0; i < map.size(); ++i) {
+    key.mix(static_cast<std::uint64_t>(map[i]));
+  }
+  static thread_local detail::OffprocCache cache;
   index_t off = 0;
+  if (cache.get(key.h, off)) return off;
   for (index_t i = 0; i < map.size(); ++i) {
     const int od = owner_of_linear(dst, map_indexes_src ? i : map[i]);
     const int os = owner_of_linear(src, map_indexes_src ? map[i] : i);
     if (od != os) off += static_cast<index_t>(sizeof(TS));
   }
+  cache.put(key.h, off);
   return off;
 }
 
@@ -182,6 +201,109 @@ template <typename T, std::size_t RD, std::size_t RS>
 void get_into(Array<T, RD>& dst, const Array<T, RS>& src,
               const Array<index_t, RD>& map) {
   gather_into(dst, src, map, CommPattern::Get);
+}
+
+/// Split-phase scatter-add: posts the off-VP contributions immediately and
+/// defers every write to dst — local adds included — to finish(). Between
+/// start and finish the caller may freely rewrite dst (the canonical use
+/// zeroes the accumulator while the contributions are in flight); src and
+/// map must stay unmutated until finish(). Results are bit-identical to
+/// scatter_add_into in every DPF_NET mode. Under DPF_NET=direct the whole
+/// combine simply runs at finish() (no messages to overlap).
+template <typename T, std::size_t RD, std::size_t RS>
+class [[nodiscard]] ScatterAddHandle {
+ public:
+  ScatterAddHandle(ScatterAddHandle&& o) noexcept
+      : dst_(o.dst_),
+        src_(o.src_),
+        map_(o.map_),
+        pattern_(o.pattern_),
+        net_(std::move(o.net_)),
+        start_ns_(o.start_ns_),
+        post_end_ns_(o.post_end_ns_),
+        finished_(o.finished_) {
+    o.finished_ = true;  // moved-from shell owes no completion
+  }
+  ScatterAddHandle& operator=(ScatterAddHandle&&) = delete;
+  ScatterAddHandle(const ScatterAddHandle&) = delete;
+  ScatterAddHandle& operator=(const ScatterAddHandle&) = delete;
+  ~ScatterAddHandle() { assert(finished_); }
+
+  void finish() {
+    assert(!finished_);
+    const std::uint64_t f0 = trace::now_ns();
+    if (net_.pending()) {
+      net_.complete();
+      const std::uint64_t f1 = trace::now_ns();
+      const double phase_s =
+          static_cast<double>((post_end_ns_ - start_ns_) + (f1 - f0)) * 1e-9;
+      const double window_s = static_cast<double>(f0 - post_end_ns_) * 1e-9;
+      if (trace::enabled(trace::Mode::Summary)) {
+        trace::overlap_span(static_cast<std::uint8_t>(pattern_),
+                            net_.posted_bytes(), post_end_ns_, f0, 0);
+      }
+      detail::record_split(pattern_, static_cast<int>(RS),
+                           static_cast<int>(RD), src_->bytes(),
+                           gs_detail::offproc_bytes(*src_, *dst_, *map_,
+                                                    /*map_src=*/true),
+                           0, phase_s, window_s);
+    } else {
+      for (index_t j = 0; j < src_->size(); ++j) {
+        assert((*map_)[j] >= 0 && (*map_)[j] < dst_->size());
+        (*dst_)[(*map_)[j]] += (*src_)[j];
+      }
+      const std::uint64_t f1 = trace::now_ns();
+      detail::record(pattern_, static_cast<int>(RS), static_cast<int>(RD),
+                     src_->bytes(),
+                     gs_detail::offproc_bytes(*src_, *dst_, *map_,
+                                              /*map_src=*/true),
+                     0, static_cast<double>(f1 - f0) * 1e-9);
+    }
+    flops::add(flops::Kind::AddSubMul, src_->size());
+    finished_ = true;
+  }
+
+ private:
+  template <typename U, std::size_t RDD, std::size_t RSS>
+  friend ScatterAddHandle<U, RDD, RSS> scatter_add_start(
+      Array<U, RDD>& dst, const Array<U, RSS>& src,
+      const Array<index_t, RSS>& map, CommPattern pattern);
+
+  ScatterAddHandle() = default;
+
+  Array<T, RD>* dst_ = nullptr;
+  const Array<T, RS>* src_ = nullptr;
+  const Array<index_t, RS>* map_ = nullptr;
+  CommPattern pattern_ = CommPattern::ScatterCombine;
+  net::CombineHandle<T> net_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t post_end_ns_ = 0;
+  bool finished_ = false;
+};
+
+/// Starts a split-phase dst[map[j]] += src[j]; see ScatterAddHandle for the
+/// window contract. All three arrays must outlive the handle.
+template <typename T, std::size_t RD, std::size_t RS>
+[[nodiscard]] ScatterAddHandle<T, RD, RS> scatter_add_start(
+    Array<T, RD>& dst, const Array<T, RS>& src, const Array<index_t, RS>& map,
+    CommPattern pattern = CommPattern::ScatterCombine) {
+  assert(map.size() == src.size());
+  ScatterAddHandle<T, RD, RS> h;
+  h.dst_ = &dst;
+  h.src_ = &src;
+  h.map_ = &map;
+  h.pattern_ = pattern;
+  h.start_ns_ = trace::now_ns();
+  const int p = Machine::instance().vps();
+  if (net::algorithmic() && p > 1) {
+    h.net_ = net::post_exchange_combine(
+        dst.data().data(), src.data().data(), map.data().data(), src.size(),
+        [&dst](index_t i) { return detail::owner_id_linear(dst, i); },
+        [&src](index_t j) { return detail::owner_id_linear(src, j); },
+        /*add=*/true);
+  }
+  h.post_end_ns_ = trace::now_ns();
+  return h;
 }
 
 }  // namespace dpf::comm

@@ -63,6 +63,9 @@ enum class CommPattern : std::uint8_t {
   return "?";
 }
 
+/// Number of distinct CommPattern values (for dense per-pattern tables).
+inline constexpr int kCommPatternCount = static_cast<int>(CommPattern::Sort) + 1;
+
 /// One recorded collective operation.
 ///
 /// Payload accounting rule: `bytes` counts the logical payload of the
@@ -81,6 +84,13 @@ struct CommEvent {
   double seconds = 0.0;   ///< measured wall time of the primitive (0 = untimed)
   double predicted_seconds = 0.0;  ///< fat-tree cost-model prediction
   int hops = 0;           ///< characteristic fat-tree hop count of the pattern
+  /// Split-phase operations only: wall time of the in-flight window between
+  /// the posting phase and the completion phase — the compute the caller
+  /// ran while the messages travelled. `seconds` for such events covers the
+  /// post and completion phases alone, so measured and predicted times stay
+  /// comparable (see METRICS.md, overlapped-phase accounting).
+  double overlap_seconds = 0.0;
+  bool split_phase = false;  ///< posted and completed in separate phases
 };
 
 /// Key used when aggregating events for the pattern-inventory tables.

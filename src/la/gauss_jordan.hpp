@@ -11,6 +11,7 @@
 /// the paper's n + 2 + 2n^2.
 
 #include <cmath>
+#include <vector>
 
 #include "comm/detail.hpp"
 #include "core/array.hpp"
@@ -27,6 +28,12 @@ inline bool gauss_jordan_solve(Array2<double>& a, Array1<double>& x,
   assert(a.extent(1) == n && b.size() == n && x.size() == n);
   copy(b, x);
   const int p = Machine::instance().vps();
+  // Normalized pivot row, staged once per step so the normalize and the
+  // whole-matrix update fuse into a single SPMD region (one barrier per
+  // step instead of two). Reading the staged row instead of a(k, ·) keeps
+  // the update bit-identical: pivrow[j] carries exactly the bits the
+  // two-region formulation stored into a(k, j) before eliminating.
+  std::vector<double> pivrow(static_cast<std::size_t>(n));
 
   for (index_t k = 0; k < n; ++k) {
     // Pivot search below (and including) the diagonal: a MAXLOC reduction.
@@ -56,12 +63,13 @@ inline bool gauss_jordan_solve(Array2<double>& a, Array1<double>& x,
     comm::detail::record(CommPattern::Send, 1, 2, n * 8, (p - 1) * 8);
     comm::detail::record(CommPattern::Send, 1, 2, 8, (p - 1) * 8);
 
-    // Normalize the pivot row (1 reciprocal + n multiplies).
+    // Normalize the pivot row into the staging buffer (1 reciprocal + n
+    // multiplies).
     const double inv = 1.0 / a(k, k);
     flops::add(flops::Kind::DivSqrt, 1);
-    parallel_range(n, [&](index_t lo, index_t hi) {
-      for (index_t j = lo; j < hi; ++j) a(k, j) *= inv;
-    });
+    for (index_t j = 0; j < n; ++j) {
+      pivrow[static_cast<std::size_t>(j)] = a(k, j) * inv;
+    }
     x[k] *= inv;
     flops::add(flops::Kind::AddSubMul, n + 1);
 
@@ -71,12 +79,22 @@ inline bool gauss_jordan_solve(Array2<double>& a, Array1<double>& x,
     comm::detail::record(CommPattern::Broadcast, 1, 2, n * 8,
                          p > 1 ? n * 8 * (p - 1) / p : 0);
 
-    // Eliminate column k from every other row (whole-matrix update).
+    // Store the normalized pivot row and eliminate column k from every
+    // other row in one fused whole-matrix region. Rows read the staged
+    // pivrow (never a(k, ·)), so row k's store and the updates of the
+    // other rows are independent and one barrier suffices.
     parallel_range(n, [&](index_t lo, index_t hi) {
       for (index_t i = lo; i < hi; ++i) {
-        if (i == k) continue;
+        if (i == k) {
+          for (index_t j = 0; j < n; ++j) {
+            a(k, j) = pivrow[static_cast<std::size_t>(j)];
+          }
+          continue;
+        }
         const double f = a(i, k);
-        for (index_t j = 0; j < n; ++j) a(i, j) -= f * a(k, j);
+        for (index_t j = 0; j < n; ++j) {
+          a(i, j) -= f * pivrow[static_cast<std::size_t>(j)];
+        }
         x[i] -= f * x[k];
       }
     });

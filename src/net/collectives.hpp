@@ -8,7 +8,9 @@
 /// a fetching region (the region boundary is the barrier that publishes the
 /// mailboxes). No region body ever blocks — with fewer workers than VPs a
 /// blocking receive would deadlock the chunked dispatcher — so each
-/// communication round costs exactly two SPMD regions.
+/// communication round costs two SPMD regions (three for the exchange under
+/// DPF_NET=overlap, which runs the local copies as a separate middle region
+/// between post and remote-consume; see split_phase.hpp).
 ///
 /// Bit-identity with the direct shared-memory path is by construction:
 ///
@@ -35,6 +37,7 @@
 #include "core/comm_log.hpp"
 #include "core/machine.hpp"
 #include "net/net.hpp"
+#include "net/split_phase.hpp"
 
 namespace dpf::net {
 
@@ -211,66 +214,16 @@ template <typename T, typename MapFn, typename OwnerDst, typename OwnerSrc>
 void exchange(T* dst, index_t n_dst, const T* src, MapFn&& src_index_of,
               OwnerDst&& owner_dst, OwnerSrc&& owner_src, T boundary = T{}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  Machine& m = Machine::instance();
-  const int p = m.vps();
-  assert(p >= 1);
-  Transport& t = transport();
   coll_detail::EngineRecord rec(CommPattern::AAPC, 1, 1);
-  const std::uint64_t base =
-      next_tags(static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p));
-  const auto pair_tag = [&](int s, int d) {
-    return base + static_cast<std::uint64_t>(s) * static_cast<std::uint64_t>(p) +
-           static_cast<std::uint64_t>(d);
-  };
-
-  m.spmd([&](int s) {
-    std::vector<std::vector<T>> bufs(static_cast<std::size_t>(p));
-    for (index_t i = 0; i < n_dst; ++i) {
-      const index_t j = src_index_of(i);
-      if (j < 0) continue;
-      if (owner_src(j) != s) continue;
-      const int d = owner_dst(i);
-      if (d == s) continue;
-      bufs[static_cast<std::size_t>(d)].push_back(src[j]);
-    }
-    for (int d = 0; d < p; ++d) {
-      auto& b = bufs[static_cast<std::size_t>(d)];
-      if (!b.empty()) {
-        t.post(s, d, pair_tag(s, d), b.data(), b.size() * sizeof(T));
-      }
-    }
-  });
-
-  m.spmd([&](int d) {
-    std::vector<std::vector<T>> in(static_cast<std::size_t>(p));
-    std::vector<std::size_t> cur(static_cast<std::size_t>(p), 0);
-    for (index_t i = 0; i < n_dst; ++i) {
-      if (owner_dst(i) != d) continue;
-      const index_t j = src_index_of(i);
-      if (j < 0) {
-        dst[i] = boundary;
-        continue;
-      }
-      const int o = owner_src(j);
-      if (o == d) {
-        dst[i] = src[j];
-        continue;
-      }
-      auto& q = in[static_cast<std::size_t>(o)];
-      auto& c = cur[static_cast<std::size_t>(o)];
-      if (q.empty()) {
-        const std::ptrdiff_t sz = t.probe(d, o, pair_tag(o, d));
-        assert(sz > 0 && sz % static_cast<std::ptrdiff_t>(sizeof(T)) == 0);
-        q.resize(static_cast<std::size_t>(sz) / sizeof(T));
-        const bool ok = t.try_fetch(d, o, pair_tag(o, d), q.data(),
-                                    static_cast<std::size_t>(sz));
-        assert(ok);
-        (void)ok;
-      }
-      assert(c < q.size());
-      dst[i] = q[c++];
-    }
-  });
+  auto h = post_exchange(dst, n_dst, src, std::forward<MapFn>(src_index_of),
+                         std::forward<OwnerDst>(owner_dst),
+                         std::forward<OwnerSrc>(owner_src), boundary);
+  // Overlap mode exercises the split-phase protocol even for a one-shot
+  // call: the local copies run as a separate middle region while the
+  // boundary messages sit in flight, and the completion region consumes
+  // remote payloads only.
+  if (overlap()) h.complete_local();
+  h.complete();
 }
 
 /// Push-based exchange with combining: dst[map[j]] (op)= src[j] for j
@@ -282,66 +235,12 @@ template <typename T, typename OwnerDst, typename OwnerSrc>
 void exchange_combine(T* dst, const T* src, const index_t* map, index_t n_src,
                       OwnerDst&& owner_dst, OwnerSrc&& owner_src, bool add) {
   static_assert(std::is_trivially_copyable_v<T>);
-  Machine& m = Machine::instance();
-  const int p = m.vps();
-  Transport& t = transport();
   coll_detail::EngineRecord rec(
       add ? CommPattern::ScatterCombine : CommPattern::Scatter, 1, 1);
-  const std::uint64_t base =
-      next_tags(static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p));
-  const auto pair_tag = [&](int s, int d) {
-    return base + static_cast<std::uint64_t>(s) * static_cast<std::uint64_t>(p) +
-           static_cast<std::uint64_t>(d);
-  };
-
-  m.spmd([&](int s) {
-    std::vector<std::vector<T>> bufs(static_cast<std::size_t>(p));
-    for (index_t j = 0; j < n_src; ++j) {
-      if (owner_src(j) != s) continue;
-      const int d = owner_dst(map[j]);
-      if (d == s) continue;
-      bufs[static_cast<std::size_t>(d)].push_back(src[j]);
-    }
-    for (int d = 0; d < p; ++d) {
-      auto& b = bufs[static_cast<std::size_t>(d)];
-      if (!b.empty()) {
-        t.post(s, d, pair_tag(s, d), b.data(), b.size() * sizeof(T));
-      }
-    }
-  });
-
-  m.spmd([&](int d) {
-    std::vector<std::vector<T>> in(static_cast<std::size_t>(p));
-    std::vector<std::size_t> cur(static_cast<std::size_t>(p), 0);
-    for (index_t j = 0; j < n_src; ++j) {
-      const index_t target = map[j];
-      if (owner_dst(target) != d) continue;
-      const int o = owner_src(j);
-      T v;
-      if (o == d) {
-        v = src[j];
-      } else {
-        auto& q = in[static_cast<std::size_t>(o)];
-        auto& c = cur[static_cast<std::size_t>(o)];
-        if (q.empty()) {
-          const std::ptrdiff_t sz = t.probe(d, o, pair_tag(o, d));
-          assert(sz > 0 && sz % static_cast<std::ptrdiff_t>(sizeof(T)) == 0);
-          q.resize(static_cast<std::size_t>(sz) / sizeof(T));
-          const bool ok = t.try_fetch(d, o, pair_tag(o, d), q.data(),
-                                      static_cast<std::size_t>(sz));
-          assert(ok);
-          (void)ok;
-        }
-        assert(c < q.size());
-        v = q[c++];
-      }
-      if (add) {
-        dst[target] += v;
-      } else {
-        dst[target] = v;
-      }
-    }
-  });
+  auto h = post_exchange_combine(dst, src, map, n_src,
+                                 std::forward<OwnerDst>(owner_dst),
+                                 std::forward<OwnerSrc>(owner_src), add);
+  h.complete();
 }
 
 }  // namespace dpf::net

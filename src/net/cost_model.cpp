@@ -211,6 +211,27 @@ double CostModel::mean_pair_hops(int p) const {
 
 double CostModel::pattern_hops(CommPattern pat, int p) const {
   if (p <= 1) return 0.0;
+  // Memoized per (pattern, p, radix). thread_local keeps the cache free of
+  // synchronization — events may be recorded from concurrent SPMD bodies —
+  // and the values are exact doubles, so every thread computes identical
+  // entries. radix only changes on calibrate()/set_params(), but it is part
+  // of the key so stale entries can never survive a reconfiguration.
+  struct Entry {
+    int p = -1;
+    int radix = 0;
+    double v = 0.0;
+  };
+  thread_local Entry memo[kCommPatternCount];
+  Entry& m = memo[static_cast<int>(pat)];
+  if (m.p != p || m.radix != params_.radix) {
+    m.v = pattern_hops_uncached(pat, p);
+    m.p = p;
+    m.radix = params_.radix;
+  }
+  return m.v;
+}
+
+double CostModel::pattern_hops_uncached(CommPattern pat, int p) const {
   switch (pat) {
     case CommPattern::Stencil:
     case CommPattern::CShift:
@@ -254,64 +275,76 @@ double CostModel::predict(const CommEvent& e, int p, int workers,
   const double hop_factor =
       1.0 + params_.contention * std::max(0.0, hop_levels - 1.0);
 
+  // Split-phase events report the unhidden remainder: the phase costs
+  // minus the in-flight window the caller's compute covered, floored at
+  // one region latency (the completion phase always synchronizes).
+  const auto charge = [&](double base) {
+    if (!e.split_phase) return base;
+    return std::max(alpha, base - e.overlap_seconds);
+  };
+
   if (algorithmic) {
     switch (e.pattern) {
       case CommPattern::Reduction:
         // Local partial pass over the payload, then the slot allgather.
-        return 2.0 * allgather_rounds(p) * alpha + 1.5 * bytes * beta;
+        return charge(2.0 * allgather_rounds(p) * alpha + 1.5 * bytes * beta);
       case CommPattern::Scan:
         // Partial pass, slot allgather, then the rescan writing the output.
-        return (2.0 * allgather_rounds(p) + 2.0) * alpha + 2.5 * bytes * beta;
+        return charge((2.0 * allgather_rounds(p) + 2.0) * alpha +
+                      2.5 * bytes * beta);
       case CommPattern::Broadcast:
-        return 2.0 * log2_ceil(p) * alpha + bytes * beta;
+        return charge(2.0 * log2_ceil(p) * alpha + bytes * beta);
       case CommPattern::Stencil:
       case CommPattern::Sort:
         break;  // no algorithmic formulation; fall through to direct below
       default:
-        // Engine patterns: two regions plus the calibrated per-element cost
-        // of the pack/post/probe/fetch/unpack machinery, with off-processor
-        // bytes paying the fat-tree contention surcharge.
-        return 2.0 * alpha + delta * n +
-               beta * offproc * (hop_factor - 1.0);
+        // Engine patterns: the posting and fetching regions (split-phase
+        // runs pay a third region for the local pass between them) plus the
+        // calibrated per-element cost of the pack/post/probe/fetch/unpack
+        // machinery, with off-processor bytes paying the fat-tree
+        // contention surcharge.
+        return charge((e.split_phase ? 3.0 : 2.0) * alpha + delta * n +
+                      beta * offproc * (hop_factor - 1.0));
     }
   }
 
   switch (e.pattern) {
     case CommPattern::Reduction:
-      return alpha + bytes * beta;
+      return charge(alpha + bytes * beta);
     case CommPattern::Scan:
-      return 2.0 * alpha + 1.5 * bytes * beta;
+      return charge(2.0 * alpha + 1.5 * bytes * beta);
     case CommPattern::Broadcast:
     case CommPattern::Spread:
-      return alpha + 0.5 * bytes * beta +
-             beta * offproc * (hop_factor - 1.0);
+      return charge(alpha + 0.5 * bytes * beta +
+                    beta * offproc * (hop_factor - 1.0));
     case CommPattern::CShift:
     case CommPattern::EOShift:
     case CommPattern::Butterfly:
-      return alpha + bytes * beta + beta * offproc * (hop_factor - 1.0);
+      return charge(alpha + bytes * beta +
+                    beta * offproc * (hop_factor - 1.0));
     case CommPattern::Stencil:
-      return alpha +
-             0.5 * bytes * beta * std::max<double>(1.0, e.detail) / 2.0;
+      return charge(alpha +
+                    0.5 * bytes * beta * std::max<double>(1.0, e.detail) / 2.0);
     case CommPattern::AAPC:
     case CommPattern::AABC:
       // Strided tile walk: every element is a cache-unfriendly read.
-      return alpha + 2.0 * bytes * beta + gamma * 4.0 * n / w +
-             beta * offproc * (hop_factor - 1.0);
+      return charge(alpha + 2.0 * bytes * beta + gamma * 4.0 * n / w +
+                    beta * offproc * (hop_factor - 1.0));
     case CommPattern::Gather:
     case CommPattern::Get:
-      return alpha + bytes * beta +
-             beta * offproc * (hop_factor - 1.0);
+      return charge(alpha + bytes * beta +
+                    beta * offproc * (hop_factor - 1.0));
     case CommPattern::GatherCombine:
     case CommPattern::Scatter:
     case CommPattern::ScatterCombine:
     case CommPattern::Send:
       // Serial combine loop on the control thread: read + write per element.
-      return alpha + 2.0 * bytes * beta +
-             beta * offproc * (hop_factor - 1.0);
+      return charge(alpha + 2.0 * bytes * beta +
+                    beta * offproc * (hop_factor - 1.0));
     case CommPattern::Sort:
-      return alpha + bytes * beta * std::max(1, log2_ceil(p));
+      return charge(alpha + bytes * beta * std::max(1, log2_ceil(p)));
   }
-  return alpha + bytes * beta;
+  return charge(alpha + bytes * beta);
 }
 
 }  // namespace dpf::net

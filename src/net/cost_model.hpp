@@ -68,16 +68,29 @@ class CostModel {
   /// Characteristic hop distance of one communication pattern on p VPs:
   /// nearest-neighbour distance for shifts/stencils, root-to-leaf distance
   /// for tree collectives, the all-pairs mean for personalized exchanges.
+  /// A pure function of (pattern, p, radix), memoized per thread — the
+  /// all-pairs mean is O(p^2) and every recorded event pays this call, so
+  /// an uncached lookup dominates record-heavy solvers at large p.
   [[nodiscard]] double pattern_hops(CommPattern pat, int p) const;
 
   /// Predicted wall time of the collective described by `e` on p VPs
   /// serviced by `workers` threads, under the direct or the algorithmic
   /// (message-passing) formulation. Returns 0 when not calibrated.
+  ///
+  /// Split-phase events (e.split_phase) are priced as their *unhidden*
+  /// cost: the posting and completion phases pay their region handshakes
+  /// and per-element engine cost as usual, but transfer time covered by
+  /// the recorded in-flight window (e.overlap_seconds — compute the caller
+  /// ran while messages travelled) is subtracted, floored at one region
+  /// latency. Measured `seconds` of split-phase events excludes the window
+  /// symmetrically, so predicted-vs-measured stays comparable.
   [[nodiscard]] double predict(const CommEvent& e, int p, int workers,
                                bool algorithmic) const;
 
  private:
   CostModel() = default;
+
+  [[nodiscard]] double pattern_hops_uncached(CommPattern pat, int p) const;
 
   Params params_;
   bool calibrated_ = false;

@@ -24,10 +24,20 @@ void reconfigure_hook(int vps) { local_transport().resize(vps); }
 
 Mode mode() {
   const char* s = std::getenv("DPF_NET");
-  if (s != nullptr && std::strcmp(s, "algorithmic") == 0) {
-    return Mode::Algorithmic;
+  if (s != nullptr) {
+    if (std::strcmp(s, "algorithmic") == 0) return Mode::Algorithmic;
+    if (std::strcmp(s, "overlap") == 0) return Mode::Overlap;
   }
   return Mode::Direct;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::Direct: return "direct";
+    case Mode::Algorithmic: return "algorithmic";
+    case Mode::Overlap: return "overlap";
+  }
+  return "?";
 }
 
 Transport& transport() {

@@ -3,15 +3,20 @@
 /// \file net.hpp
 /// Front door of the dpf::net interconnect subsystem.
 ///
-/// Selects between the two formulations of every collective:
+/// Selects between the three formulations of every collective:
 ///
 ///   DPF_NET=direct       shared-memory data motion (the default)
 ///   DPF_NET=algorithmic  message-passing over the Transport mailboxes
+///   DPF_NET=overlap      message passing with split-phase collectives:
+///                        boundary messages are posted one or more SPMD
+///                        regions before they are consumed, so callers can
+///                        interleave compute with the in-flight window
 ///
-/// Both produce bit-identical results and identical CommEvent records; the
-/// algorithmic path additionally drives real per-VP messages through the
-/// transport, which is what the microbenchmarks and the fat-tree cost model
-/// calibrate against.
+/// All three produce bit-identical results and identical CommEvent payload
+/// accounting; the message-passing paths additionally drive real per-VP
+/// messages through the transport, which is what the microbenchmarks and
+/// the fat-tree cost model calibrate against. Overlap mode is algorithmic
+/// mode with the exchange engine running split-phase (split_phase.hpp).
 
 #include <cstdint>
 
@@ -20,14 +25,22 @@
 
 namespace dpf::net {
 
-enum class Mode { Direct, Algorithmic };
+enum class Mode { Direct, Algorithmic, Overlap };
 
 /// Current mode from the DPF_NET environment variable (read per call so
 /// tests can flip it between collectives).
 [[nodiscard]] Mode mode();
 
-/// True when the message-passing formulations are selected.
-[[nodiscard]] inline bool algorithmic() { return mode() == Mode::Algorithmic; }
+/// The DPF_NET spelling of a mode ("direct" | "algorithmic" | "overlap").
+[[nodiscard]] const char* mode_name(Mode m);
+
+/// True when a message-passing formulation is selected (algorithmic or
+/// overlap): every primitive with an index-map reformulation routes through
+/// the transport exchange engine.
+[[nodiscard]] inline bool algorithmic() { return mode() != Mode::Direct; }
+
+/// True when the split-phase (overlap) formulation is selected.
+[[nodiscard]] inline bool overlap() { return mode() == Mode::Overlap; }
 
 /// The process-wide transport, sized to the machine's VP grid. First use
 /// installs the Machine reconfigure hook so the mailboxes resize (dropping

@@ -147,9 +147,14 @@ RunResult run_fem3d(const RunConfig& cfg) {
       flops::add_weighted(18 * ne * n_ve);
     });
     // Scatter with combine back to the vertices + damped Jacobi update.
+    // Split-phase: the off-VP contributions are posted first, the
+    // accumulator is zeroed while they are in flight, and finish() lands
+    // every add (local ones included) in global element order — the same
+    // bits scatter_add_into produces.
     seg_scatter.run([&] {
+      auto h = comm::scatter_add_start(acc, contrib, mesh.conn);
       fill_par(acc, 0.0);
-      comm::scatter_add_into(acc, contrib, mesh.conn);
+      h.finish();
       update(u, 3, [&](index_t v, double val) {
         if (mesh.boundary[v]) return val;
         return 0.5 * val + 0.5 * acc[v] / diag[v];

@@ -86,12 +86,30 @@ RunResult run_wave1d(const RunConfig& cfg) {
     // Sixth-order CSHIFT second derivative (6 CSHIFTs on u), blended with
     // the spectral one — the inhomogeneous-coefficient part of the
     // operator is better behaved on the difference form.
-    auto up1 = comm::cshift(u, 0, +1);
-    auto um1 = comm::cshift(u, 0, -1);
-    auto up2 = comm::cshift(u, 0, +2);
-    auto um2 = comm::cshift(u, 0, -2);
-    auto up3 = comm::cshift(u, 0, +3);
-    auto um3 = comm::cshift(u, 0, -3);
+    // The six stencil shifts are independent, so they run split-phase as a
+    // pipeline: every start posts its boundary messages and copies its
+    // local elements, overlapping the earlier shifts' in-flight windows;
+    // the finishes then drain the remote halos in order.
+    Array1<double> up1(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> um1(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> up2(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> um2(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> up3(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> um3(u.shape(), u.layout(), MemKind::Temporary);
+    {
+      auto hp1 = comm::cshift_start(up1, u, 0, +1);
+      auto hm1 = comm::cshift_start(um1, u, 0, -1);
+      auto hp2 = comm::cshift_start(up2, u, 0, +2);
+      auto hm2 = comm::cshift_start(um2, u, 0, -2);
+      auto hp3 = comm::cshift_start(up3, u, 0, +3);
+      auto hm3 = comm::cshift_start(um3, u, 0, -3);
+      hp1.finish();
+      hm1.finish();
+      hp2.finish();
+      hm2.finish();
+      hp3.finish();
+      hm3.finish();
+    }
     const double inv_h2 = static_cast<double>(nx) * static_cast<double>(nx);
     Array1<double> uxx_fd(u.shape(), u.layout(), MemKind::Temporary);
     assign(uxx_fd, 12, [&](index_t i) {
@@ -107,12 +125,26 @@ RunResult run_wave1d(const RunConfig& cfg) {
     });
     // Sixth-difference artificial dissipation on the new field (6 more
     // CSHIFTs) kills the odd-even leapfrog mode.
-    auto np1 = comm::cshift(unew, 0, +1);
-    auto nm1 = comm::cshift(unew, 0, -1);
-    auto np2 = comm::cshift(unew, 0, +2);
-    auto nm2 = comm::cshift(unew, 0, -2);
-    auto np3 = comm::cshift(unew, 0, +3);
-    auto nm3 = comm::cshift(unew, 0, -3);
+    Array1<double> np1(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> nm1(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> np2(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> nm2(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> np3(u.shape(), u.layout(), MemKind::Temporary);
+    Array1<double> nm3(u.shape(), u.layout(), MemKind::Temporary);
+    {
+      auto hp1 = comm::cshift_start(np1, unew, 0, +1);
+      auto hm1 = comm::cshift_start(nm1, unew, 0, -1);
+      auto hp2 = comm::cshift_start(np2, unew, 0, +2);
+      auto hm2 = comm::cshift_start(nm2, unew, 0, -2);
+      auto hp3 = comm::cshift_start(np3, unew, 0, +3);
+      auto hm3 = comm::cshift_start(nm3, unew, 0, -3);
+      hp1.finish();
+      hm1.finish();
+      hp2.finish();
+      hm2.finish();
+      hp3.finish();
+      hm3.finish();
+    }
     copy(u, uprev);
     constexpr double eps = 1.0 / 256.0;
     assign(u, 12, [&](index_t i) {

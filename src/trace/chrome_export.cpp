@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/comm_log.hpp"
+#include "trace/flight.hpp"
 
 namespace dpf::trace {
 namespace {
@@ -49,6 +50,13 @@ const char* event_name(const Event& e, char* buf, std::size_t n) {
       return e.x ? "pool acquire (hit)" : "pool acquire (miss)";
     case EventKind::PoolRelease:
       return e.x ? "pool release (recycled)" : "pool release (dropped)";
+    case EventKind::Overlap: {
+      const std::string_view pat =
+          to_string(static_cast<CommPattern>(e.pattern));
+      std::snprintf(buf, n, "overlap %.*s", static_cast<int>(pat.size()),
+                    pat.data());
+      return buf;
+    }
   }
   return "?";
 }
@@ -66,6 +74,8 @@ const char* category(EventKind k) {
     case EventKind::PoolAcquire:
     case EventKind::PoolRelease:
       return "pool";
+    case EventKind::Overlap:
+      return "comm";
   }
   return "?";
 }
@@ -100,9 +110,6 @@ bool write_chrome_trace(const std::string& path, const Snapshot& snap) {
                  "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}",
                  w.worker, w.worker);
   }
-
-  // (timestamp ns, +/- bytes) deltas for the bytes-in-flight counter track.
-  std::vector<std::pair<std::uint64_t, std::int64_t>> flight;
 
   char name[64];
   for (const WorkerTrace& w : snap.workers) {
@@ -151,10 +158,15 @@ bool write_chrome_trace(const std::string& path, const Snapshot& snap) {
                        "\"bytes\":%" PRIu64 ",\"src\":%u,\"dst\":%u,"
                        "\"serial\":%" PRIu32,
                        e.arg, e.x, e.y, e.serial);
-          flight.emplace_back(e.kind == EventKind::Post ? e.t0_ns : e.t1_ns,
-                              e.kind == EventKind::Post
-                                  ? static_cast<std::int64_t>(e.arg)
-                                  : -static_cast<std::int64_t>(e.arg));
+          break;
+        case EventKind::Overlap:
+          std::fprintf(f,
+                       "\"pattern\":\"%s\",\"bytes\":%" PRIu64
+                       ",\"serial\":%" PRIu32,
+                       std::string(
+                           to_string(static_cast<CommPattern>(e.pattern)))
+                           .c_str(),
+                       e.arg, e.serial);
           break;
         default:
           break;
@@ -163,16 +175,28 @@ bool write_chrome_trace(const std::string& path, const Snapshot& snap) {
     }
   }
 
-  // Counter track: transport bytes in flight over time.
-  std::sort(flight.begin(), flight.end());
-  std::int64_t in_flight = 0;
-  for (const auto& [t, delta] : flight) {
-    in_flight += delta;
+  // Counter track: transport bytes in flight over time, reconstructed with
+  // per-channel clamping so ring overflow cannot drive the level negative
+  // (flight.hpp); the two loss modes are annotated once at the end.
+  const FlightSeries series = bytes_in_flight(snap);
+  for (const FlightSample& s : series.samples) {
     sep();
     std::fprintf(f,
                  "{\"ph\":\"C\",\"pid\":0,\"name\":\"bytes in flight\","
                  "\"ts\":%.3f,\"args\":{\"bytes\":%" PRId64 "}}",
-                 us(t, base), in_flight < 0 ? std::int64_t{0} : in_flight);
+                 us(s.t_ns, base), s.bytes);
+  }
+  if (series.orphan_fetch_bytes > 0 || series.residual_bytes > 0) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"s\":\"g\",\"ts\":%.3f,"
+                 "\"name\":\"flight accounting loss\",\"cat\":\"net\","
+                 "\"args\":{\"orphan_fetch_bytes\":%" PRIu64
+                 ",\"residual_bytes\":%" PRIu64 "}}",
+                 series.samples.empty()
+                     ? 0.0
+                     : us(series.samples.back().t_ns, base),
+                 series.orphan_fetch_bytes, series.residual_bytes);
   }
 
   std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");

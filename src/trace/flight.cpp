@@ -1,0 +1,56 @@
+#include "trace/flight.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dpf::trace {
+
+FlightSeries bytes_in_flight(const Snapshot& snap) {
+  // (time, is_fetch, channel, bytes). Posts sort before fetches at equal
+  // timestamps: a same-instant pair is a zero-latency hop, not an orphan.
+  struct Delta {
+    std::uint64_t t;
+    bool fetch;
+    std::uint32_t channel;
+    std::uint64_t bytes;
+  };
+  std::vector<Delta> deltas;
+  for (const WorkerTrace& w : snap.workers) {
+    for (const Event& e : w.events) {
+      if (e.kind != EventKind::Post && e.kind != EventKind::Fetch) continue;
+      const bool fetch = e.kind == EventKind::Fetch;
+      const auto channel =
+          (static_cast<std::uint32_t>(e.x) << 16) | e.y;
+      deltas.push_back({fetch ? e.t1_ns : e.t0_ns, fetch, channel, e.arg});
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(), [](const Delta& a, const Delta& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.fetch < b.fetch;
+  });
+
+  FlightSeries out;
+  out.samples.reserve(deltas.size());
+  std::unordered_map<std::uint32_t, std::uint64_t> outstanding;
+  std::int64_t level = 0;
+  for (const Delta& d : deltas) {
+    std::uint64_t& chan = outstanding[d.channel];
+    if (!d.fetch) {
+      chan += d.bytes;
+      level += static_cast<std::int64_t>(d.bytes);
+    } else {
+      const std::uint64_t deduct = std::min(chan, d.bytes);
+      out.orphan_fetch_bytes += d.bytes - deduct;
+      chan -= deduct;
+      level -= static_cast<std::int64_t>(deduct);
+    }
+    out.samples.push_back({d.t, level});
+  }
+  for (const auto& [channel, bytes] : outstanding) {
+    (void)channel;
+    out.residual_bytes += bytes;
+  }
+  return out;
+}
+
+}  // namespace dpf::trace

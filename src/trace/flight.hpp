@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file flight.hpp
+/// Bytes-in-flight reconstruction from a trace snapshot.
+///
+/// The chrome exporter draws a counter track of transport payload sitting
+/// in the mailboxes over time, built from Post (+bytes at t0) and Fetch
+/// (-bytes at t1) events. The naive running sum breaks in two ways once
+/// split-phase collectives stretch the post->fetch distance:
+///
+///   * Ring overflow drops the *oldest* events first. A long in-flight
+///     window makes it likely a post is dropped while its fetch survives;
+///     the orphan fetch then drives the naive counter negative, and a
+///     global clamp-at-zero silently mis-levels everything after it.
+///   * Posts and fetches land on different worker rings, so one ring
+///     overflowing skews the pairing even when the other kept everything.
+///
+/// This module instead keeps one outstanding-bytes ledger per (src, dst)
+/// channel: a fetch can only subtract what its own channel has posted, and
+/// anything beyond that is counted as orphaned (its post was dropped)
+/// rather than folded into the level. Residual bytes — posts never fetched
+/// within the snapshot, e.g. a window still open at collection time — are
+/// reported too, so exporters can annotate both loss modes.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dpf::trace {
+
+/// One change point of the bytes-in-flight level.
+struct FlightSample {
+  std::uint64_t t_ns = 0;   ///< event timestamp (post t0 / fetch t1)
+  std::int64_t bytes = 0;   ///< total in-flight level after this event
+};
+
+/// The reconstructed counter plus its two loss modes.
+struct FlightSeries {
+  std::vector<FlightSample> samples;      ///< time-ordered change points
+  std::uint64_t orphan_fetch_bytes = 0;   ///< fetched bytes whose post was
+                                          ///< lost to ring overflow
+  std::uint64_t residual_bytes = 0;       ///< posted bytes never fetched
+                                          ///< within the snapshot
+};
+
+/// Rebuilds the bytes-in-flight series from every Post/Fetch event in the
+/// snapshot. The level is exact when no ring overflowed; under overflow it
+/// is clamped per channel, never negative, and the clamped volume is
+/// surfaced in orphan_fetch_bytes.
+[[nodiscard]] FlightSeries bytes_in_flight(const Snapshot& snap);
+
+}  // namespace dpf::trace

@@ -112,6 +112,26 @@ std::string format_trace_summary(const Snapshot& snap, int top_k) {
     }
   }
 
+  // Split-phase overlap windows: how long payload sat in flight while the
+  // caller ran compute, and how much of it.
+  double overlap_s = 0.0;
+  double overlap_bytes = 0.0;
+  std::uint64_t overlap_n = 0;
+  for (const WorkerTrace& w : snap.workers) {
+    for (const Event& e : w.events) {
+      if (e.kind != EventKind::Overlap) continue;
+      overlap_s += secs(e.t0_ns, e.t1_ns);
+      overlap_bytes += static_cast<double>(e.arg);
+      ++overlap_n;
+    }
+  }
+  if (overlap_n > 0) {
+    append(out,
+           "  overlap windows: %" PRIu64 " (%.0f bytes in flight, %.6f s "
+           "hidden behind compute)\n",
+           overlap_n, overlap_bytes, overlap_s);
+  }
+
   // Top-k imbalanced regions: rank by max/mean per-worker busy time over
   // the workers that executed chunks of the region.
   struct Ranked {

@@ -168,6 +168,19 @@ void transport_span(bool post, int src, int dst, std::uint64_t bytes,
   emit(e);
 }
 
+void overlap_span(std::uint8_t pattern, std::uint64_t bytes,
+                  std::uint64_t t0_ns, std::uint64_t t1_ns,
+                  std::uint64_t serial) {
+  Event e;
+  e.kind = EventKind::Overlap;
+  e.t0_ns = t0_ns;
+  e.t1_ns = t1_ns >= t0_ns ? t1_ns : t0_ns;
+  e.arg = bytes;
+  e.serial = static_cast<std::uint32_t>(serial);
+  e.pattern = pattern;
+  emit(e);
+}
+
 void pool_mark(bool acquire, std::uint64_t capacity_bytes, bool reused) {
   Event e;
   e.kind = acquire ? EventKind::PoolAcquire : EventKind::PoolRelease;

@@ -57,6 +57,7 @@ enum class EventKind : std::uint8_t {
   Fetch,        ///< transport fetch span (full mode)
   PoolAcquire,  ///< TemporaryPool acquire mark (full mode, instant)
   PoolRelease,  ///< TemporaryPool release mark (full mode, instant)
+  Overlap,      ///< split-phase in-flight window (post done -> completion)
 };
 
 /// One timeline event. Field use by kind:
@@ -67,6 +68,9 @@ enum class EventKind : std::uint8_t {
 ///   Post/Fetch  t0/t1 span, arg = bytes, x = src VP, y = dst VP, serial
 ///   Pool*       instant (t0 == t1), arg = block capacity bytes,
 ///               x = 1 for cache hit (acquire) / recycle (release)
+///   Overlap     t0/t1 span (the window between the end of a split-phase
+///               posting phase and the start of its completion — caller
+///               compute ran here), arg = bytes in flight, pattern
 struct Event {
   std::uint64_t t0_ns = 0;
   std::uint64_t t1_ns = 0;
@@ -182,6 +186,14 @@ void collective(std::uint8_t pattern, std::uint64_t bytes, double seconds,
 void transport_span(bool post, int src, int dst, std::uint64_t bytes,
                     std::uint64_t t0_ns, std::uint64_t t1_ns,
                     std::uint64_t serial);
+
+/// One split-phase overlap window: `bytes` sat in the mailboxes from t0
+/// (end of the posting phase) to t1 (start of completion) while the caller
+/// ran compute. Recorded at Summary level alongside the collective events,
+/// so a timeline shows exactly which compute the messages hid behind.
+void overlap_span(std::uint8_t pattern, std::uint64_t bytes,
+                  std::uint64_t t0_ns, std::uint64_t t1_ns,
+                  std::uint64_t serial);
 
 /// One TemporaryPool acquire/release mark. `reused` flags a cache hit
 /// (acquire) or a recycled block (release).

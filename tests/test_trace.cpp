@@ -16,6 +16,7 @@
 #include "core/machine.hpp"
 #include "core/registry.hpp"
 #include "trace/chrome_export.hpp"
+#include "trace/flight.hpp"
 #include "trace/summary.hpp"
 #include "trace/trace.hpp"
 
@@ -290,6 +291,137 @@ TEST_F(TraceTest, SummaryListsEveryWorkerAndCollectives) {
         << summary;
   }
   EXPECT_NE(summary.find("Reduction"), std::string::npos);
+}
+
+// --- bytes-in-flight reconstruction (trace/flight.hpp) ---------------------
+
+trace::Event transport_event(trace::EventKind kind, std::uint64_t t0,
+                             std::uint64_t t1, std::uint64_t bytes,
+                             std::uint16_t src, std::uint16_t dst) {
+  trace::Event e;
+  e.kind = kind;
+  e.t0_ns = t0;
+  e.t1_ns = t1;
+  e.arg = bytes;
+  e.x = src;
+  e.y = dst;
+  return e;
+}
+
+// Synthetic timeline with a fetch whose post was lost (ring overflow) and a
+// post never fetched inside the snapshot (a long split-phase window): the
+// counter must stay non-negative, charge the orphan fetch to
+// orphan_fetch_bytes, and report the still-open post as residual.
+TEST_F(TraceTest, FlightSeriesAccountsOrphansAndResiduals) {
+  trace::Snapshot snap;
+  trace::WorkerTrace w;
+  w.worker = 0;
+  using trace::EventKind;
+  // Channel 1->2: a normal post/fetch pair of 100 bytes.
+  w.events.push_back(transport_event(EventKind::Post, 10, 11, 100, 1, 2));
+  w.events.push_back(transport_event(EventKind::Fetch, 20, 25, 100, 1, 2));
+  // Channel 3->4: a fetch of 64 bytes whose post was dropped by overflow.
+  w.events.push_back(transport_event(EventKind::Fetch, 30, 32, 64, 3, 4));
+  // Channel 5->6: a 48-byte post still in flight when the snapshot landed.
+  w.events.push_back(transport_event(EventKind::Post, 40, 41, 48, 5, 6));
+  // Channel 7->8: partial orphan — fetch claims more than was posted.
+  w.events.push_back(transport_event(EventKind::Post, 50, 51, 16, 7, 8));
+  w.events.push_back(transport_event(EventKind::Fetch, 60, 61, 24, 7, 8));
+  snap.workers.push_back(std::move(w));
+
+  const auto series = trace::bytes_in_flight(snap);
+  ASSERT_EQ(series.samples.size(), 6u);
+  for (const auto& s : series.samples) {
+    EXPECT_GE(s.bytes, 0) << "level dipped negative at t=" << s.t_ns;
+  }
+  EXPECT_EQ(series.orphan_fetch_bytes, 64u + 8u);
+  EXPECT_EQ(series.residual_bytes, 48u);
+  // Level sequence: +100, -100, orphan (no change), +48, +16, -16.
+  EXPECT_EQ(series.samples[0].bytes, 100);
+  EXPECT_EQ(series.samples[1].bytes, 0);
+  EXPECT_EQ(series.samples[2].bytes, 0);
+  EXPECT_EQ(series.samples[3].bytes, 48);
+  EXPECT_EQ(series.samples[5].bytes, 48);
+}
+
+// A same-instant post/fetch pair is a zero-latency hop, not an orphan: the
+// post must apply first.
+TEST_F(TraceTest, FlightSeriesOrdersPostBeforeFetchAtEqualTimes) {
+  trace::Snapshot snap;
+  trace::WorkerTrace w;
+  using trace::EventKind;
+  w.events.push_back(transport_event(EventKind::Fetch, 90, 100, 32, 1, 2));
+  w.events.push_back(transport_event(EventKind::Post, 100, 100, 32, 1, 2));
+  snap.workers.push_back(std::move(w));
+  const auto series = trace::bytes_in_flight(snap);
+  EXPECT_EQ(series.orphan_fetch_bytes, 0u);
+  EXPECT_EQ(series.residual_bytes, 0u);
+  for (const auto& s : series.samples) EXPECT_GE(s.bytes, 0);
+}
+
+// Long split-phase windows under a tiny ring: enough posts overflow out of
+// the retained window that their fetches arrive post-less. The accounting
+// must absorb them — level never negative, losses surfaced as orphan bytes,
+// and the closing level exactly the residual.
+TEST_F(TraceTest, FlightLevelStaysNonNegativeUnderRingOverflow) {
+  setenv("DPF_NET", "overlap", 1);
+  trace::set_mode(trace::Mode::Full);
+  trace::set_ring_capacity(64);
+  Machine::instance().configure(8);
+
+  auto u = make_vector<double>(4096);
+  for (index_t i = 0; i < 4096; ++i) u[i] = static_cast<double>(i);
+  auto dst = make_vector<double>(4096);
+  auto scratch = make_vector<double>(4096);
+  for (int it = 0; it < 40; ++it) {
+    auto h = comm::cshift_start(dst, u, 0, 7 + it);
+    fill_par(scratch, static_cast<double>(it));  // compute in the window
+    h.finish();
+  }
+
+  const auto snap = trace::collect();
+  EXPECT_GT(snap.dropped_count(), 0u) << "test needs ring overflow to bite";
+  const auto series = trace::bytes_in_flight(snap);
+  ASSERT_FALSE(series.samples.empty());
+  for (const auto& s : series.samples) {
+    EXPECT_GE(s.bytes, 0) << "level dipped negative at t=" << s.t_ns;
+  }
+  // Conservation: every posted byte either got fetched, or is still open at
+  // the end (residual). The final level is exactly the open bytes.
+  EXPECT_EQ(series.samples.back().bytes,
+            static_cast<std::int64_t>(series.residual_bytes));
+}
+
+// Split-phase windows emit Overlap spans at Summary level, carrying the
+// in-flight byte count for the counter track.
+TEST_F(TraceTest, SplitPhaseWindowsEmitOverlapSpans) {
+  setenv("DPF_NET", "overlap", 1);
+  Machine::instance().configure(8);
+  trace::set_mode(trace::Mode::Summary);
+  trace::reset();
+
+  auto u = make_vector<double>(1024);
+  for (index_t i = 0; i < 1024; ++i) u[i] = static_cast<double>(i);
+  auto dst = make_vector<double>(1024);
+  auto scratch = make_vector<double>(1024);
+  auto h = comm::cshift_start(dst, u, 0, 5);
+  fill_par(scratch, 2.0);
+  h.finish();
+
+  const auto snap = trace::collect();
+  std::size_t overlaps = 0;
+  for (const auto& w : snap.workers) {
+    for (const auto& e : w.events) {
+      if (e.kind != trace::EventKind::Overlap) continue;
+      ++overlaps;
+      EXPECT_GE(e.t1_ns, e.t0_ns);
+      EXPECT_GT(e.arg, 0u) << "overlap span with no bytes in flight";
+      EXPECT_EQ(e.pattern, static_cast<std::uint8_t>(CommPattern::CShift));
+    }
+  }
+  EXPECT_GT(overlaps, 0u);
+  const std::string summary = trace::format_trace_summary(snap);
+  EXPECT_NE(summary.find("overlap"), std::string::npos);
 }
 
 }  // namespace

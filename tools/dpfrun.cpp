@@ -18,13 +18,16 @@
 /// timeline and exports Chrome trace-event JSON (open in Perfetto or
 /// chrome://tracing); `--trace FILE.csv` keeps the CommLog CSV dump.
 /// Combine with DPF_NET=algorithmic to price the message-passing
-/// formulations.
+/// formulations, or DPF_NET=overlap for the split-phase variants — the
+/// comm report then adds the per-pattern `overlap s` column (time payload
+/// sat in flight behind caller compute) and a split-phase event summary.
 ///
 /// Examples:
 ///   dpfrun run conj-grad --set n=4096 --version=optimized
 ///   dpfrun run fft --set n=1024 --set dims=2 --vps=8
 ///   dpfrun run lu --trace lu.json
 ///   DPF_NET=algorithmic dpfrun run transpose --vps=16 --report comm
+///   DPF_NET=overlap dpfrun run fem-3D --vps=16 --report comm
 
 #include <cstdio>
 #include <cstdlib>
@@ -236,41 +239,55 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   if (report_comm) {
     struct Agg {
       long long count = 0;
+      long long split = 0;
       long long bytes = 0;
       long long offproc = 0;
       double seconds = 0.0;
+      double overlap = 0.0;
       double predicted = 0.0;
     };
     std::map<CommKey, Agg> table;
     for (const CommEvent& e : r.metrics.comm_events) {
       Agg& a = table[CommKey{e.pattern, e.src_rank, e.dst_rank}];
       ++a.count;
+      if (e.split_phase) ++a.split;
       a.bytes += e.bytes;
       a.offproc += e.offproc_bytes;
       a.seconds += e.seconds;
+      a.overlap += e.overlap_seconds;
       a.predicted += e.predicted_seconds;
     }
     std::printf(
         "\ncommunication report (DPF_NET=%s, transport %s, %d VPs):\n",
-        net::algorithmic() ? "algorithmic" : "direct",
-        net::transport().name(), Machine::instance().vps());
-    std::printf("  %-20s %5s %8s %12s %12s %12s %12s\n", "pattern", "ranks",
-                "count", "bytes", "offproc B", "measured s", "predicted s");
+        net::mode_name(net::mode()), net::transport().name(),
+        Machine::instance().vps());
+    std::printf("  %-20s %5s %8s %12s %12s %12s %12s %12s\n", "pattern",
+                "ranks", "count", "bytes", "offproc B", "measured s",
+                "overlap s", "predicted s");
     Agg total;
     for (const auto& [key, a] : table) {
-      std::printf("  %-20s %2d->%-2d %8lld %12lld %12lld %12.6f %12.6f\n",
-                  std::string(to_string(key.pattern)).c_str(), key.src_rank,
-                  key.dst_rank, a.count, a.bytes, a.offproc, a.seconds,
-                  a.predicted);
+      std::printf(
+          "  %-20s %2d->%-2d %8lld %12lld %12lld %12.6f %12.6f %12.6f\n",
+          std::string(to_string(key.pattern)).c_str(), key.src_rank,
+          key.dst_rank, a.count, a.bytes, a.offproc, a.seconds, a.overlap,
+          a.predicted);
       total.count += a.count;
+      total.split += a.split;
       total.bytes += a.bytes;
       total.offproc += a.offproc;
       total.seconds += a.seconds;
+      total.overlap += a.overlap;
       total.predicted += a.predicted;
     }
-    std::printf("  %-20s %5s %8lld %12lld %12lld %12.6f %12.6f\n", "total",
-                "", total.count, total.bytes, total.offproc, total.seconds,
-                total.predicted);
+    std::printf("  %-20s %5s %8lld %12lld %12lld %12.6f %12.6f %12.6f\n",
+                "total", "", total.count, total.bytes, total.offproc,
+                total.seconds, total.overlap, total.predicted);
+    if (total.split > 0) {
+      std::printf(
+          "  split-phase events     : %lld (%.6f s in flight behind "
+          "compute)\n",
+          total.split, total.overlap);
+    }
     if (total.seconds > 0.0 && total.predicted > 0.0) {
       std::printf("  predicted/measured     : %.2fx\n",
                   total.predicted / total.seconds);

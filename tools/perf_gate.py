@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the comm-bound benchmarks.
+
+Compares a freshly measured BENCH_perf.json against the committed baseline
+(docs/BENCH_perf_baseline_comm.json) and fails when any gated benchmark
+regressed by more than the noise bound. CI produces the current file with
+
+    DPF_VPS=16 DPF_WORKERS=4 bench/perf_suite --reps 5 \
+        --only gauss-jordan,jacobi,transpose,fem-3D BENCH_perf.json
+    python3 tools/perf_gate.py --current BENCH_perf.json
+
+Elapsed times are normalized by the calibrated machine peak (elapsed *
+peak_mflops) so the comparison tracks *work per peak-FLOP* rather than raw
+wall time — a slower CI host inflates elapsed and deflates the calibrated
+peak together, keeping the product roughly host-independent. Benchmarks
+whose baseline elapsed is under the absolute floor are reported but never
+fail the gate: at sub-millisecond scale, scheduler jitter dominates.
+
+Refresh the baseline (after an intentional perf change, best-of-5 on a
+quiet machine) with:
+
+    python3 tools/perf_gate.py --current BENCH_perf.json --update
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE_DEFAULT = "docs/BENCH_perf_baseline_comm.json"
+GATED = ["gauss-jordan", "jacobi", "transpose", "fem-3D"]
+TOLERANCE = 0.15       # >15% normalized-elapsed growth fails the gate
+FLOOR_SECONDS = 1e-3   # baselines faster than this are jitter, not signal
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def by_name(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def normalized_elapsed(doc, bench):
+    return bench["elapsed_s"] * doc["machine"]["peak_mflops"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", default="BENCH_perf.json",
+                    help="freshly measured perf JSON (default BENCH_perf.json)")
+    ap.add_argument("--baseline", default=BASELINE_DEFAULT,
+                    help=f"committed baseline (default {BASELINE_DEFAULT})")
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE,
+                    help=f"allowed fractional growth (default {TOLERANCE})")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from --current and exit")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    cur = by_name(current)
+    missing = [n for n in GATED if n not in cur]
+    if missing:
+        print(f"perf_gate: {args.current} is missing {missing}; "
+              f"run perf_suite --only {','.join(GATED)} first")
+        return 2
+
+    if args.update:
+        slim = {
+            "machine": current["machine"],
+            "benchmarks": [cur[n] for n in GATED],
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(slim, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    baseline = load(args.baseline)
+    base = by_name(baseline)
+
+    if current["machine"]["vps"] != baseline["machine"]["vps"] or \
+       current["machine"]["simd"] != baseline["machine"]["simd"]:
+        print(f"perf_gate: machine config mismatch — baseline "
+              f"{baseline['machine']}, current {current['machine']}; "
+              f"not comparable")
+        return 2
+
+    print(f"{'benchmark':<16} {'base(s)':>10} {'now(s)':>10} "
+          f"{'norm ratio':>10}  verdict")
+    failures = []
+    for name in GATED:
+        b, c = base[name], cur[name]
+        nb = normalized_elapsed(baseline, b)
+        nc = normalized_elapsed(current, c)
+        ratio = nc / nb if nb > 0 else float("inf")
+        if b["elapsed_s"] < FLOOR_SECONDS:
+            verdict = "below floor (informational)"
+        elif ratio > 1.0 + args.tolerance:
+            verdict = f"REGRESSED >{args.tolerance:.0%}"
+            failures.append((name, ratio))
+        else:
+            verdict = "ok"
+        print(f"{name:<16} {b['elapsed_s']:>10.5f} {c['elapsed_s']:>10.5f} "
+              f"{ratio:>10.3f}  {verdict}")
+
+    if failures:
+        worst = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        print(f"\nperf_gate: FAIL — {worst} beyond the "
+              f"{args.tolerance:.0%} noise bound. If intentional, refresh "
+              f"the baseline with --update on a quiet machine.")
+        return 1
+    print("\nperf_gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
