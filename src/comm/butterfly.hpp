@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "comm/detail.hpp"
+#include "comm/pipeline.hpp"
 #include "core/array.hpp"
 #include "core/machine.hpp"
 #include "core/ops.hpp"
@@ -37,6 +38,7 @@ void butterfly_into(Array<T, R>& dst, const Array<T, R>& src, index_t h) {
   const bool inplace = detail::same_store(dst, src);
   const int p = Machine::instance().vps();
   detail::OpTimer timer;
+  detail::PipelineStats ps;
 
   if (net::algorithmic() && p > 1) {
     const T* sp = src.data().data();
@@ -47,8 +49,16 @@ void butterfly_into(Array<T, R>& dst, const Array<T, R>& src, index_t h) {
       snap.assign(sp, sp + n);
       sp = snap.data();
     }
-    net::exchange(
-        dst.data().data(), n, sp, [=](index_t L) { return L ^ h; },
+    detail::KeyHash skey;
+    skey.mix(0x4246u);  // pattern discriminator: butterfly
+    skey.mix(static_cast<std::uint64_t>(h));
+    skey.mix(static_cast<std::uint64_t>(n));
+    skey.mix(sizeof(T));
+    skey.mix_owner_structure(src, p);
+    skey.mix_owner_structure(dst, p);
+    ps = detail::planned_engine_exchange(
+        dst.data().data(), n, sp, skey.h, CommPattern::Butterfly,
+        [=](index_t L) { return L ^ h; },
         [&](index_t L) { return detail::owner_id_linear(dst, L); },
         [&](index_t j) { return detail::owner_id_linear(src, j); });
   } else if (inplace) {
@@ -90,9 +100,15 @@ void butterfly_into(Array<T, R>& dst, const Array<T, R>& src, index_t h) {
       cache.put(key.h, offproc);
     }
   }
-  detail::record(CommPattern::Butterfly, static_cast<int>(R),
-                 static_cast<int>(R), src.bytes(), offproc, h,
-                 timer.seconds());
+  if (ps.split) {
+    detail::record_split(CommPattern::Butterfly, static_cast<int>(R),
+                         static_cast<int>(R), src.bytes(), offproc, h,
+                         ps.seconds, ps.overlap_seconds, ps.blocks);
+  } else {
+    detail::record(CommPattern::Butterfly, static_cast<int>(R),
+                   static_cast<int>(R), src.bytes(), offproc, h,
+                   timer.seconds());
+  }
 }
 
 /// Returns butterfly(src, h) as a library temporary.

@@ -20,12 +20,16 @@
 /// across VPs keep full parallelism (a 1-D array is one big slab).
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "comm/detail.hpp"
 #include "core/array.hpp"
 #include "core/machine.hpp"
 #include "core/ops.hpp"
+#include "net/exchange_plan.hpp"
 
 namespace dpf::comm {
 
@@ -82,6 +86,61 @@ void eoshift_range(T* dst, const T* src, index_t slab, index_t shift_elems,
   }
 }
 
+/// Cached routing plan for a slab rotation (the cshift index map). The key
+/// folds everything the routing depends on: the map parameters and both
+/// arrays' ownership structures.
+template <typename T, std::size_t R>
+[[nodiscard]] std::shared_ptr<const net::ExchangePlan> rotate_plan(
+    const Array<T, R>& dst, const Array<T, R>& src, index_t slab,
+    index_t rot) {
+  const int p = Machine::instance().vps();
+  detail::KeyHash key;
+  key.mix(0x5348u);  // pattern discriminator: circular shift
+  key.mix(static_cast<std::uint64_t>(src.size()));
+  key.mix(static_cast<std::uint64_t>(slab));
+  key.mix(static_cast<std::uint64_t>(rot));
+  key.mix(sizeof(T));
+  key.mix_owner_structure(src, p);
+  key.mix_owner_structure(dst, p);
+  return net::plan_for(
+      key.h, 0, src.size(), p,
+      [slab, rot](index_t L) {
+        const index_t base = (L / slab) * slab;
+        const index_t k = L - base + rot;
+        return base + (k < slab ? k : k - slab);
+      },
+      [&dst](index_t L) { return detail::owner_id_linear(dst, L); },
+      [&src](index_t j) { return detail::owner_id_linear(src, j); });
+}
+
+/// Cached routing plan for an end-off shift (negative map index = boundary
+/// fill).
+template <typename T, std::size_t R>
+[[nodiscard]] std::shared_ptr<const net::ExchangePlan> eoshift_plan(
+    const Array<T, R>& dst, const Array<T, R>& src, index_t slab,
+    index_t shift_elems, index_t copy_lo, index_t copy_hi) {
+  const int p = Machine::instance().vps();
+  detail::KeyHash key;
+  key.mix(0x454fu);  // pattern discriminator: end-off shift
+  key.mix(static_cast<std::uint64_t>(src.size()));
+  key.mix(static_cast<std::uint64_t>(slab));
+  key.mix(static_cast<std::uint64_t>(shift_elems));
+  key.mix(static_cast<std::uint64_t>(copy_lo));
+  key.mix(static_cast<std::uint64_t>(copy_hi));
+  key.mix(sizeof(T));
+  key.mix_owner_structure(src, p);
+  key.mix_owner_structure(dst, p);
+  return net::plan_for(
+      key.h, 0, src.size(), p,
+      [slab, shift_elems, copy_lo, copy_hi](index_t L) -> index_t {
+        const index_t k = L % slab;
+        if (k < copy_lo || k >= copy_hi) return -1;  // boundary fill
+        return L + shift_elems;
+      },
+      [&dst](index_t L) { return detail::owner_id_linear(dst, L); },
+      [&src](index_t j) { return detail::owner_id_linear(src, j); });
+}
+
 }  // namespace shift_detail
 
 /// dst = cshift(src, axis, s). dst must have src's shape and must not alias
@@ -108,15 +167,10 @@ void cshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
   if (net::algorithmic() && p > 1) {
     // Ring formulation: each VP packs the rotated-in elements it owns and
     // pushes them to the destination owner; local elements copy in place.
-    net::exchange(
-        dp, src.size(), sp,
-        [=](index_t L) {
-          const index_t base = (L / slab) * slab;
-          const index_t k = L - base + rot;
-          return base + (k < slab ? k : k - slab);
-        },
-        [&](index_t L) { return detail::owner_id_linear(dst, L); },
-        [&](index_t j) { return detail::owner_id_linear(src, j); });
+    // The routing is a cached plan, so iterative callers pay index gathers
+    // only — no per-element functor evaluation.
+    net::exchange_planned(dp, sp, shift_detail::rotate_plan(dst, src, slab,
+                                                            rot));
   } else {
     parallel_range(src.size(), [&](index_t lo, index_t hi) {
       shift_detail::rotate_range(dp, sp, slab, rot, lo, hi);
@@ -228,7 +282,7 @@ class [[nodiscard]] ShiftHandle {
 
   Array<T, R>* dst_ = nullptr;
   const Array<T, R>* src_ = nullptr;
-  net::ExchangeHandle<T> net_;
+  net::PlanHandle<T> net_;
   CommPattern pattern_ = CommPattern::CShift;
   std::size_t axis_ = 0;
   index_t sh_ = 0;
@@ -267,15 +321,8 @@ template <typename T, std::size_t R>
   T* dp = dst.data().data();
   const int p = Machine::instance().vps();
   if (net::algorithmic() && p > 1) {
-    h.net_ = net::post_exchange(
-        dp, src.size(), sp,
-        [slab, rot](index_t L) {
-          const index_t base = (L / slab) * slab;
-          const index_t k = L - base + rot;
-          return base + (k < slab ? k : k - slab);
-        },
-        [&dst](index_t L) { return detail::owner_id_linear(dst, L); },
-        [&src](index_t j) { return detail::owner_id_linear(src, j); });
+    h.net_ = net::post_exchange_planned(
+        dp, sp, shift_detail::rotate_plan(dst, src, slab, rot));
     // The locally-sourced elements copy now (a second region), so the
     // in-flight window that follows covers only the remote halo.
     h.net_.complete_local();
@@ -310,16 +357,10 @@ void eoshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     const index_t chi = std::max(copy_lo, copy_hi);
-    const index_t shift_elems = s * st;
-    net::exchange(
-        dp, src.size(), sp,
-        [=](index_t L) -> index_t {
-          const index_t k = L % slab;
-          if (k < copy_lo || k >= chi) return -1;  // boundary fill
-          return L + shift_elems;
-        },
-        [&](index_t L) { return detail::owner_id_linear(dst, L); },
-        [&](index_t j) { return detail::owner_id_linear(src, j); }, boundary);
+    net::exchange_planned(
+        dp, sp,
+        shift_detail::eoshift_plan(dst, src, slab, s * st, copy_lo, chi),
+        boundary);
   } else {
     parallel_range(src.size(), [&](index_t lo, index_t hi) {
       shift_detail::eoshift_range(dp, sp, slab, s * st, copy_lo,
@@ -353,5 +394,213 @@ template <typename T, std::size_t R>
   eoshift_into(dst, src, axis, s, boundary);
   return dst;
 }
+
+/// A bundle of split-phase shifts posted together — the halo exchange of a
+/// multi-point stencil as one operation. Where k separate cshift_start
+/// handles cost 3k SPMD regions (post, local, consume each), the bundle
+/// fuses each phase across all members: one posting region, one local
+/// region at start(), one consume region at finish(), regardless of k.
+/// Members may mix ranks and shift kinds (circular / end-off) over any
+/// arrays of one element type.
+///
+/// The window contract matches ShiftHandle: payloads are captured at
+/// start() (posted messages are copies; local elements land before start()
+/// returns), each member's remote halo elements stay undefined until
+/// finish(). Under DPF_NET=direct the shifts run whole at start(). Each
+/// member records its own CShift/EOShift event (detail = 1, the fused
+/// marker pshift uses), with the bundle's measured time divided evenly.
+template <typename T>
+class [[nodiscard]] ShiftBundle {
+ public:
+  ShiftBundle() = default;
+  ShiftBundle(const ShiftBundle&) = delete;
+  ShiftBundle& operator=(const ShiftBundle&) = delete;
+  ShiftBundle(ShiftBundle&& o) noexcept = default;
+  ShiftBundle& operator=(ShiftBundle&&) = delete;
+  ~ShiftBundle() { assert(finished_ || items_.empty()); }
+
+  /// Adds dst = cshift(src, axis, s). Both arrays must outlive the bundle
+  /// and not alias each other.
+  template <std::size_t R>
+  void add_cshift(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
+                  index_t s, CommPattern pattern = CommPattern::CShift) {
+    assert(!started_);
+    assert(dst.shape() == src.shape());
+    assert(dst.data().data() != src.data().data());
+    const index_t n = src.extent(axis);
+    if (n == 0 || src.size() == 0) return;  // empty: nothing moves/records
+    const index_t st = src.shape().strides()[axis];
+    index_t sh = s % n;
+    if (sh < 0) sh += n;
+    const index_t slab = n * st;
+    const index_t rot = sh * st;
+    Item it;
+    it.pattern = pattern;
+    it.rank = static_cast<int>(R);
+    it.bytes = src.bytes();
+    const int p = Machine::instance().vps();
+    const int procs_here = src.layout().procs_on_axis(axis, p);
+    if (procs_here > 1 && sh != 0) {
+      const index_t moved = detail::moved_slots(
+          n, [sh, n](index_t j) { return (j + sh) % n; }, src.layout().dist(),
+          procs_here);
+      it.offproc = moved * (src.bytes() / n);
+    }
+    T* dp = dst.data().data();
+    const T* sp = src.data().data();
+    if (net::algorithmic() && p > 1) {
+      it.plan = shift_detail::rotate_plan(dst, src, slab, rot);
+      it.op = net::PlanOp<T>{dp, sp, it.plan.get(), 0, T{}};
+    } else {
+      it.size = src.size();
+      it.direct_fn = [dp, sp, slab, rot](index_t lo, index_t hi) {
+        shift_detail::rotate_range(dp, sp, slab, rot, lo, hi);
+      };
+    }
+    items_.push_back(std::move(it));
+  }
+
+  /// Adds dst = eoshift(src, axis, s, boundary).
+  template <std::size_t R>
+  void add_eoshift(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
+                   index_t s, T boundary) {
+    assert(!started_);
+    assert(dst.shape() == src.shape());
+    assert(dst.data().data() != src.data().data());
+    const index_t n = src.extent(axis);
+    if (n == 0 || src.size() == 0) return;
+    const index_t st = src.shape().strides()[axis];
+    const index_t slab = n * st;
+    const index_t copy_lo = std::max<index_t>(0, -s) * st;
+    const index_t copy_hi =
+        std::max(copy_lo, std::max<index_t>(0, std::min(n, n - s)) * st);
+    Item it;
+    it.pattern = CommPattern::EOShift;
+    it.rank = static_cast<int>(R);
+    it.bytes = src.bytes();
+    const int p = Machine::instance().vps();
+    const int procs_here = src.layout().procs_on_axis(axis, p);
+    if (procs_here > 1 && s != 0) {
+      const index_t moved = detail::moved_slots(
+          n,
+          [s, n](index_t j) {
+            const index_t jj = j + s;
+            return (jj >= 0 && jj < n) ? jj : j;  // boundary fills are local
+          },
+          src.layout().dist(), procs_here);
+      it.offproc = moved * (src.bytes() / n);
+    }
+    T* dp = dst.data().data();
+    const T* sp = src.data().data();
+    if (net::algorithmic() && p > 1) {
+      it.plan = shift_detail::eoshift_plan(dst, src, slab, s * st, copy_lo,
+                                           copy_hi);
+      it.op = net::PlanOp<T>{dp, sp, it.plan.get(), 0, boundary};
+    } else {
+      const index_t shift_elems = s * st;
+      it.size = src.size();
+      it.direct_fn = [dp, sp, slab, shift_elems, copy_lo, copy_hi,
+                      boundary](index_t lo, index_t hi) {
+        shift_detail::eoshift_range(dp, sp, slab, shift_elems, copy_lo,
+                                    copy_hi, boundary, lo, hi);
+      };
+    }
+    items_.push_back(std::move(it));
+  }
+
+  /// Posts every member's boundary messages (one region) and performs the
+  /// locally-sourced copies (one region); under DPF_NET=direct runs the
+  /// whole shifts in a single fused region.
+  void start() {
+    assert(!started_);
+    started_ = true;
+    start_ns_ = trace::now_ns();
+    if (items_.empty()) {
+      post_end_ns_ = start_ns_;
+      return;
+    }
+    if (!items_[0].direct_fn) {
+      split_ = true;
+      const int p = Machine::instance().vps();
+      std::vector<net::PlanOp<T>> ops;
+      ops.reserve(items_.size());
+      for (Item& it : items_) {
+        it.op.base = net::next_tags(static_cast<std::uint64_t>(p) *
+                                    static_cast<std::uint64_t>(p));
+        ops.push_back(it.op);
+      }
+      posted_bytes_ = net::planned_post(ops.data(), ops.size());
+      net::planned_local(ops.data(), ops.size());
+    } else {
+      Machine& m = Machine::instance();
+      const int p = m.vps();
+      m.spmd([&](int vp) {
+        for (const Item& it : items_) {
+          const Block b = block_of(it.size, p, vp);
+          if (b.size() > 0) it.direct_fn(b.begin, b.end);
+        }
+      });
+    }
+    post_end_ns_ = trace::now_ns();
+  }
+
+  /// Consumes the remote halos (one region) and records every member.
+  void finish() {
+    assert(started_ && !finished_);
+    finished_ = true;
+    if (items_.empty()) return;
+    const std::uint64_t f0 = trace::now_ns();
+    if (split_) {
+      std::vector<net::PlanOp<T>> ops;
+      ops.reserve(items_.size());
+      for (const Item& it : items_) ops.push_back(it.op);
+      net::planned_consume(ops.data(), ops.size(), false);
+    }
+    const std::uint64_t f1 = trace::now_ns();
+    const double k = static_cast<double>(items_.size());
+    if (split_) {
+      if (trace::enabled(trace::Mode::Summary)) {
+        trace::overlap_span(static_cast<std::uint8_t>(items_[0].pattern),
+                            posted_bytes_, post_end_ns_, f0, 0);
+      }
+      const double seconds =
+          static_cast<double>((post_end_ns_ - start_ns_) + (f1 - f0)) * 1e-9 /
+          k;
+      const double window =
+          static_cast<double>(f0 - post_end_ns_) * 1e-9 / k;
+      for (const Item& it : items_) {
+        detail::record_split(it.pattern, it.rank, it.rank, it.bytes,
+                             it.offproc, 1, seconds, window);
+      }
+    } else {
+      const double seconds =
+          static_cast<double>(post_end_ns_ - start_ns_) * 1e-9 / k;
+      for (const Item& it : items_) {
+        detail::record(it.pattern, it.rank, it.rank, it.bytes, it.offproc, 1,
+                       seconds);
+      }
+    }
+  }
+
+ private:
+  struct Item {
+    net::PlanOp<T> op{};
+    std::shared_ptr<const net::ExchangePlan> plan;
+    std::function<void(index_t, index_t)> direct_fn;  // direct path sweep
+    index_t size = 0;
+    CommPattern pattern = CommPattern::CShift;
+    int rank = 0;
+    index_t bytes = 0;
+    index_t offproc = 0;
+  };
+
+  std::vector<Item> items_;
+  std::uint64_t posted_bytes_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t post_end_ns_ = 0;
+  bool started_ = false;
+  bool split_ = false;
+  bool finished_ = false;
+};
 
 }  // namespace dpf::comm

@@ -180,11 +180,13 @@ inline void record(CommPattern pattern, int src_rank, int dst_rank,
 /// predicted-vs-measured comparable for overlapped collectives.
 inline void record_split(CommPattern pattern, int src_rank, int dst_rank,
                          index_t bytes, index_t offproc_bytes, index_t detail,
-                         double seconds, double overlap_seconds) {
+                         double seconds, double overlap_seconds,
+                         int blocks = 1) {
   CommEvent e{pattern, src_rank, dst_rank, bytes, offproc_bytes, detail};
   e.seconds = seconds;
   e.overlap_seconds = overlap_seconds;
   e.split_phase = true;
+  e.blocks = blocks;
   net::annotate(e);
   CommLog::instance().record(e);
 }

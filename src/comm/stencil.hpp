@@ -11,7 +11,10 @@
 /// sweep whose halo traffic is recorded as a single Stencil event carrying
 /// the point count (reproducing Table 6 rows like "1 7-point Stencil").
 
+#include <algorithm>
 #include <array>
+#include <utility>
+#include <vector>
 
 #include "comm/detail.hpp"
 #include "core/array.hpp"
@@ -123,6 +126,141 @@ void stencil_interior(Array<T, R>& dst, const Array<T, R>& src, index_t points,
   detail::record(CommPattern::Stencil, static_cast<int>(R),
                  static_cast<int>(R), src.bytes(), offproc, points,
                  timer.seconds());
+}
+
+/// Per-axis ownership classification for interior-first sweeps: coordinate
+/// c on axis a is *interior* when its whole halo neighbourhood
+/// [c - halo, c + halo] lies inside the VP block that owns c — i.e. every
+/// shifted-array value the stencil reads at c was locally sourced, so c can
+/// be computed while the halo messages are still in flight. Coordinates
+/// whose neighbourhood crosses a block edge (or wraps the global ends) are
+/// *boundary* and must wait for finish(). Cyclic axes are all-boundary.
+template <std::size_t R>
+struct InteriorMask {
+  std::array<std::vector<std::uint8_t>, R> interior;  ///< per-coordinate flag
+  bool any_boundary = false;
+};
+
+template <typename T, std::size_t R>
+[[nodiscard]] InteriorMask<R> interior_mask(const Array<T, R>& a,
+                                            index_t halo) {
+  const int p = Machine::instance().vps();
+  InteriorMask<R> mk;
+  for (std::size_t ax = 0; ax < R; ++ax) {
+    const index_t n = a.extent(ax);
+    mk.interior[ax].assign(static_cast<std::size_t>(n), 1);
+    const int g = a.layout().procs_on_axis(ax, p);
+    if (g <= 1 || halo == 0 || n == 0) continue;
+    if (a.layout().dist() != Dist::Block) {
+      std::fill(mk.interior[ax].begin(), mk.interior[ax].end(), 0);
+      mk.any_boundary = true;
+      continue;
+    }
+    for (index_t c = 0; c < n; ++c) {
+      const Block b = block_of(n, g, owner_of(n, g, c));
+      // Wrapped neighbours (c ± halo outside [0, n)) fail automatically:
+      // the block bounds never extend past the global ends.
+      const bool in = c - halo >= b.begin && c + halo <= b.end - 1;
+      if (!in) {
+        mk.interior[ax][static_cast<std::size_t>(c)] = 0;
+        mk.any_boundary = true;
+      }
+    }
+  }
+  return mk;
+}
+
+/// Interior-first elementwise assignment around an in-flight halo exchange:
+/// writes dst[i] = fn(i) for every linear index i, in two passes split by
+/// `finish_halos`. Pass 1 sweeps the elements interior_mask classifies as
+/// halo-independent (legal inside the window: everything they read landed
+/// in the exchange's local phase); then finish_halos() consumes the remote
+/// halos; then pass 2 sweeps the boundary shell. Bit-identical to
+/// assign(dst, fn) after finish_halos(): each element is written exactly
+/// once by the same pure functor. When no coordinate is boundary (p == 1,
+/// no distributed axis) or no messages are in flight (DPF_NET=direct), the
+/// halos are finished first and a single fused sweep runs.
+template <typename T, std::size_t R, typename Finish, typename F>
+void assign_interior_first(Array<T, R>& dst, index_t halo,
+                           index_t weighted_flops_per_elem,
+                           Finish&& finish_halos, F&& fn) {
+  const index_t n = dst.size();
+  const int p = Machine::instance().vps();
+  const bool message_mode = net::algorithmic() && p > 1;
+  InteriorMask<R> mk;
+  if (message_mode && n > 0) mk = interior_mask(dst, halo);
+  if (!message_mode || !mk.any_boundary || n == 0) {
+    finish_halos();
+    assign(dst, weighted_flops_per_elem, std::forward<F>(fn));
+    return;
+  }
+
+  const auto& ext = dst.shape().extents();
+  const auto strides = dst.shape().strides();
+  // Inner-axis interior runs [lo, hi) and their complement, precomputed
+  // once; rows iterate the outer coordinates in full.
+  const std::vector<std::uint8_t>& inner = mk.interior[R - 1];
+  std::vector<std::pair<index_t, index_t>> in_runs, out_runs;
+  {
+    const index_t ni = ext[R - 1];
+    index_t c = 0;
+    while (c < ni) {
+      index_t e = c;
+      const bool v = inner[static_cast<std::size_t>(c)] != 0;
+      while (e < ni && (inner[static_cast<std::size_t>(e)] != 0) == v) ++e;
+      (v ? in_runs : out_runs).push_back({c, e});
+      c = e;
+    }
+  }
+  const index_t st_inner = strides[R - 1];
+  const index_t rows = n / std::max<index_t>(ext[R - 1], 1);
+  // Row-major divisors over the R-1 outer extents.
+  std::array<index_t, R> rdiv{};
+  {
+    index_t acc = 1;
+    for (std::size_t a = R; a-- > 1;) {
+      rdiv[a - 1] = acc;
+      acc *= ext[a - 1];
+    }
+  }
+  // sweep(pass1): interior rows x interior runs. sweep(pass2): everything
+  // else — boundary rows whole, interior rows' complement runs.
+  const auto sweep = [&](bool pass1) {
+    parallel_range(rows, [&](index_t rlo, index_t rhi) {
+      for (index_t r = rlo; r < rhi; ++r) {
+        index_t rem = r;
+        index_t lin = 0;
+        bool row_interior = true;
+        for (std::size_t a = 0; a + 1 < R; ++a) {
+          const index_t coord = rem / rdiv[a];
+          rem %= rdiv[a];
+          lin += coord * strides[a];
+          if (mk.interior[a][static_cast<std::size_t>(coord)] == 0) {
+            row_interior = false;
+          }
+        }
+        const auto run = [&](index_t lo, index_t hi) {
+          if (st_inner == 1) {
+            vec::map(lin + lo, lin + hi, [&](index_t c) { dst[c] = fn(c); });
+          } else {
+            for (index_t j = lo; j < hi; ++j) {
+              const index_t c = lin + j * st_inner;
+              dst[c] = fn(c);
+            }
+          }
+        };
+        if (row_interior) {
+          for (const auto& [lo, hi] : pass1 ? in_runs : out_runs) run(lo, hi);
+        } else if (!pass1) {
+          run(0, ext[R - 1]);
+        }
+      }
+    });
+  };
+  sweep(true);
+  finish_halos();
+  sweep(false);
+  flops::add_weighted(weighted_flops_per_elem * n);
 }
 
 /// Records a Stencil event without moving data — used when a stencil is

@@ -91,6 +91,11 @@ struct CommEvent {
   /// comparable (see METRICS.md, overlapped-phase accounting).
   double overlap_seconds = 0.0;
   bool split_phase = false;  ///< posted and completed in separate phases
+  /// Split-phase operations only: number of pipelined in-flight blocks the
+  /// exchange was split into (1 = a single post/complete pair). The cost
+  /// model floors the charged remainder at `blocks` region latencies and
+  /// prices one extra post/consume region pair per block.
+  int blocks = 1;
 };
 
 /// Key used when aggregating events for the pattern-inventory tables.

@@ -41,7 +41,7 @@ inline JacobiResult jacobi_eigenvalues(const Array2<double>& a_in, double tol,
   assert(a_in.extent(1) == n && n % 2 == 0);
   Array2<double> a(a_in.shape(), a_in.layout(), MemKind::Temporary);
   copy(a_in, a);
-  Array2<double> tmp(a.shape(), a.layout(), MemKind::Temporary);
+  Array2<double> a2(a.shape(), a.layout(), MemKind::Temporary);
   const int p = Machine::instance().vps();
 
   // Tournament order: pair (order[k], order[n-1-k]); rotate all but slot 0.
@@ -71,19 +71,28 @@ inline JacobiResult jacobi_eigenvalues(const Array2<double>& a_in, double tol,
   };
 
   JacobiResult res{Array1<double>(Shape<1>(n), Layout<1>{}, MemKind::User)};
+  std::vector<double> row_off2(static_cast<std::size_t>(n));
   double off2 = off_norm2();
+  // Ping-pong the iterate between a and a2: the column pass for row i reads
+  // only row i of the row-rotated matrix, so both rotation passes fuse into
+  // one parallel region with a per-row scratch, writing the next iterate
+  // into the other buffer.
+  Array2<double>* cur = &a;
+  Array2<double>* nxt = &a2;
 
   for (index_t round = 0; round < max_rounds * (n - 1) && off2 > stop;
        ++round) {
+    const Array2<double>& ac = *cur;
+    Array2<double>& an = *nxt;
     // Angle computation for each of the n/2 pairs (O(n) work).
     for (index_t k = 0; k < n / 2; ++k) {
       index_t pi = order[static_cast<std::size_t>(k)];
       index_t qi = order[static_cast<std::size_t>(n - 1 - k)];
       if (pi > qi) std::swap(pi, qi);
-      const double apq = a(pi, qi);
+      const double apq = ac(pi, qi);
       double c = 1.0, s = 0.0;
       if (apq != 0.0) {
-        const double theta = (a(qi, qi) - a(pi, pi)) / (2.0 * apq);
+        const double theta = (ac(qi, qi) - ac(pi, pi)) / (2.0 * apq);
         const double t =
             (theta >= 0 ? 1.0 : -1.0) /
             (std::abs(theta) + std::sqrt(theta * theta + 1.0));
@@ -107,35 +116,42 @@ inline JacobiResult jacobi_eigenvalues(const Array2<double>& a_in, double tol,
                            p > 1 ? n * 8 * (p - 1) / p : 0);
     }
 
-    // Row pass: row_p' = c row_p - s row_q ; row_q' = s row_p + c row_q.
-    // Partner rows arrive through the router (1 Send).
+    // Row pass (row_p' = c row_p - s row_q ; row_q' = s row_p + c row_q)
+    // fused with the column pass on the row-rotated matrix: row i of the
+    // rotated intermediate feeds only row i of the column update, so one
+    // region computes it into a per-row scratch and applies the column
+    // rotations immediately. Partner rows/columns arrive through the
+    // router (2 Sends). The off-diagonal norm of the next iterate is
+    // accumulated per row inside the same sweep (deterministic: each row's
+    // partial sums in j order, the row partials combine in i order below),
+    // replacing a serial O(n^2) convergence pass per round.
+    comm::detail::record(CommPattern::Send, 2, 2, n * n * 8, (p - 1) * n * 8);
     comm::detail::record(CommPattern::Send, 2, 2, n * n * 8, (p - 1) * n * 8);
     parallel_range(n, [&](index_t lo, index_t hi) {
+      std::vector<double> trow(static_cast<std::size_t>(n));
       for (index_t i = lo; i < hi; ++i) {
         const index_t q = partner[static_cast<std::size_t>(i)];
         const double c = cs[static_cast<std::size_t>(i)];
         const double s = sn[static_cast<std::size_t>(i)];
         const double sg = is_p[static_cast<std::size_t>(i)] ? -s : s;
         for (index_t j = 0; j < n; ++j) {
-          tmp(i, j) = c * a(i, j) + sg * a(q, j);
+          trow[static_cast<std::size_t>(j)] = c * ac(i, j) + sg * ac(q, j);
         }
-      }
-    });
-    flops::add(flops::Kind::AddSubMul, 3 * n * n);
-    // Column pass on the row-rotated matrix (1 Send).
-    comm::detail::record(CommPattern::Send, 2, 2, n * n * 8, (p - 1) * n * 8);
-    parallel_range(n, [&](index_t lo, index_t hi) {
-      for (index_t i = lo; i < hi; ++i) {
+        double row_off = 0.0;
         for (index_t j = 0; j < n; ++j) {
-          const index_t q = partner[static_cast<std::size_t>(j)];
-          const double c = cs[static_cast<std::size_t>(j)];
-          const double s = sn[static_cast<std::size_t>(j)];
-          const double sg = is_p[static_cast<std::size_t>(j)] ? -s : s;
-          a(i, j) = c * tmp(i, j) + sg * tmp(i, q);
+          const index_t qj = partner[static_cast<std::size_t>(j)];
+          const double cj = cs[static_cast<std::size_t>(j)];
+          const double sj = sn[static_cast<std::size_t>(j)];
+          const double sgj = is_p[static_cast<std::size_t>(j)] ? -sj : sj;
+          const double v = cj * trow[static_cast<std::size_t>(j)] +
+                           sgj * trow[static_cast<std::size_t>(qj)];
+          an(i, j) = v;
+          if (i != j) row_off += v * v;
         }
+        row_off2[static_cast<std::size_t>(i)] = row_off;
       }
     });
-    flops::add(flops::Kind::AddSubMul, 3 * n * n);
+    flops::add(flops::Kind::AddSubMul, 6 * n * n);
 
     // Tournament advance (circle method): slot 0 is fixed, the remaining
     // n-1 slots rotate cyclically by one; 2 CSHIFTs on the 1-D pairing
@@ -145,10 +161,14 @@ inline JacobiResult jacobi_eigenvalues(const Array2<double>& a_in, double tol,
     comm::detail::record(CommPattern::CShift, 1, 1, n * 8, (p - 1) * 8);
 
     ++res.iterations;
-    off2 = off_norm2();
+    std::swap(cur, nxt);
+    off2 = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      off2 += row_off2[static_cast<std::size_t>(i)];
+    }
   }
 
-  for (index_t i = 0; i < n; ++i) res.eigenvalues[i] = a(i, i);
+  for (index_t i = 0; i < n; ++i) res.eigenvalues[i] = cur->operator()(i, i);
   res.off_norm = std::sqrt(off2);
   res.converged = off2 <= stop;
   return res;

@@ -91,13 +91,20 @@ void pcr_solve(const TridiagT<T>& sys, Array2<T>& rhs) {
   for (index_t d = 1; d < n; d *= 2) {
     // (2r + 4) CSHIFTs: packed sub/super pair both ways, diagonal both
     // ways, every RHS row both ways (one 2-D CSHIFT covering r rows is
-    // recorded per row to match the paper's per-RHS accounting).
-    comm::cshift_into(ac_dn, ac, 1, -d);
-    comm::cshift_into(ac_up, ac, 1, +d);
-    comm::cshift_into(b_dn, b, 0, -d);
-    comm::cshift_into(b_up, b, 0, +d);
-    comm::cshift_into(f_dn, f, 1, -d);
-    comm::cshift_into(f_up, f, 1, +d);
+    // recorded per row to match the paper's per-RHS accounting). All six
+    // post as one bundle: one posting + one local + one consume region per
+    // level instead of 18.
+    {
+      comm::ShiftBundle<T> bundle;
+      bundle.add_cshift(ac_dn, ac, 1, -d);
+      bundle.add_cshift(ac_up, ac, 1, +d);
+      bundle.add_cshift(b_dn, b, 0, -d);
+      bundle.add_cshift(b_up, b, 0, +d);
+      bundle.add_cshift(f_dn, f, 1, -d);
+      bundle.add_cshift(f_up, f, 1, +d);
+      bundle.start();
+      bundle.finish();
+    }
     for (index_t extra = 1; extra < r; ++extra) {
       // Account the remaining per-RHS shifts (the data already moved with
       // the 2-D shift above; the paper's code shifts each RHS separately).

@@ -1,6 +1,7 @@
 #include "net/net.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -24,9 +25,21 @@ void reconfigure_hook(int vps) { local_transport().resize(vps); }
 
 Mode mode() {
   const char* s = std::getenv("DPF_NET");
-  if (s != nullptr) {
+  if (s != nullptr && *s != '\0') {
     if (std::strcmp(s, "algorithmic") == 0) return Mode::Algorithmic;
     if (std::strcmp(s, "overlap") == 0) return Mode::Overlap;
+    if (std::strcmp(s, "direct") != 0) {
+      // A set-but-unrecognized mode is rejected *loudly*, once: a silent
+      // fall back to direct would quietly skip the transport paths the
+      // caller asked to exercise (e.g. DPF_NET=overlop).
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "dpf: ignoring DPF_NET=\"%s\" (expected "
+                     "direct|algorithmic|overlap); using default direct\n",
+                     s);
+      }
+    }
   }
   return Mode::Direct;
 }

@@ -7,6 +7,8 @@
 /// Table 6 row: 44·nx·ny·nz FLOPs/iter, 60·nx·ny·nz bytes (s), 2 Reductions
 /// + 12 CSHIFTs (2 7-point stencils) per iteration.
 
+#include <array>
+
 #include "comm/comm.hpp"
 #include "suite/common.hpp"
 #include "suite/register_all.hpp"
@@ -53,6 +55,59 @@ struct RpState {
 /// stencil, 6 CSHIFTs, 13 FLOPs/point.
 void apply(RpState& s, const Array3<double>& p, Array3<double>& q,
            bool transpose, bool use_pshift = false) {
+  const index_t ny = s.ny, nz = s.nz, nx = s.nx;
+  const auto stencil_fn = [&, ny, nz, nx, transpose](
+                              const Array3<double>& pxp,
+                              const Array3<double>& pxm,
+                              const Array3<double>& pyp,
+                              const Array3<double>& pym,
+                              const Array3<double>& pzp,
+                              const Array3<double>& pzm) {
+    return [&, ny, nz, nx, transpose](index_t k) {
+      const index_t i = k / (ny * nz);
+      const index_t rest = k % (ny * nz);
+      const index_t j = rest / nz;
+      const index_t l = rest % nz;
+      const double axm = transpose ? s.txm[k] : s.cxm[k];
+      const double axp = transpose ? s.txp[k] : s.cxp[k];
+      const double aym = transpose ? s.tym[k] : s.cym[k];
+      const double ayp = transpose ? s.typ[k] : s.cyp[k];
+      const double azm = transpose ? s.tzm[k] : s.czm[k];
+      const double azp = transpose ? s.tzp[k] : s.czp[k];
+      double acc = s.c0[k] * p[k];
+      if (i > 0) acc += axm * pxm[k];
+      if (i + 1 < nx) acc += axp * pxp[k];
+      if (j > 0) acc += aym * pym[k];
+      if (j + 1 < ny) acc += ayp * pyp[k];
+      if (l > 0) acc += azm * pzm[k];
+      if (l + 1 < nz) acc += azp * pzp[k];
+      return acc;
+    };
+  };
+  if (net::algorithmic() && Machine::instance().vps() > 1) {
+    // Interior-first: all six face halos post as one bundle (one posting
+    // region, one local region); the halo-independent interior of q runs
+    // inside the in-flight window, the block-edge shell after the consume.
+    std::array<Array3<double>, 6> f{
+        Array3<double>(p.shape(), p.layout(), MemKind::Temporary),
+        Array3<double>(p.shape(), p.layout(), MemKind::Temporary),
+        Array3<double>(p.shape(), p.layout(), MemKind::Temporary),
+        Array3<double>(p.shape(), p.layout(), MemKind::Temporary),
+        Array3<double>(p.shape(), p.layout(), MemKind::Temporary),
+        Array3<double>(p.shape(), p.layout(), MemKind::Temporary)};
+    comm::ShiftBundle<double> bundle;
+    bundle.add_cshift(f[0], p, 0, +1);
+    bundle.add_cshift(f[1], p, 0, -1);
+    bundle.add_cshift(f[2], p, 1, +1);
+    bundle.add_cshift(f[3], p, 1, -1);
+    bundle.add_cshift(f[4], p, 2, +1);
+    bundle.add_cshift(f[5], p, 2, -1);
+    bundle.start();
+    comm::assign_interior_first(q, 1, 13, [&] { bundle.finish(); },
+                                stencil_fn(f[0], f[1], f[2], f[3], f[4],
+                                           f[5]));
+    return;
+  }
   // Optimized version: one bundled PSHIFT fetches all six face
   // neighbours in a single fused pass (same 6 logical CSHIFTs).
   std::vector<Array3<double>> faces;
@@ -67,27 +122,7 @@ void apply(RpState& s, const Array3<double>& p, Array3<double>& q,
   auto pym = fetch(1, -1, 3);
   auto pzp = fetch(2, +1, 4);
   auto pzm = fetch(2, -1, 5);
-  const index_t ny = s.ny, nz = s.nz, nx = s.nx;
-  assign(q, 13, [&](index_t k) {
-    const index_t i = k / (ny * nz);
-    const index_t rest = k % (ny * nz);
-    const index_t j = rest / nz;
-    const index_t l = rest % nz;
-    const double axm = transpose ? s.txm[k] : s.cxm[k];
-    const double axp = transpose ? s.txp[k] : s.cxp[k];
-    const double aym = transpose ? s.tym[k] : s.cym[k];
-    const double ayp = transpose ? s.typ[k] : s.cyp[k];
-    const double azm = transpose ? s.tzm[k] : s.czm[k];
-    const double azp = transpose ? s.tzp[k] : s.czp[k];
-    double acc = s.c0[k] * p[k];
-    if (i > 0) acc += axm * pxm[k];
-    if (i + 1 < nx) acc += axp * pxp[k];
-    if (j > 0) acc += aym * pym[k];
-    if (j + 1 < ny) acc += ayp * pyp[k];
-    if (l > 0) acc += azm * pzm[k];
-    if (l + 1 < nz) acc += azp * pzp[k];
-    return acc;
-  });
+  assign(q, 13, stencil_fn(pxp, pxm, pyp, pym, pzp, pzm));
 }
 
 RunResult run_rp(const RunConfig& cfg) {

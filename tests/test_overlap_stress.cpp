@@ -175,6 +175,55 @@ TEST_F(OverlapStressTest, RandomizedInterleavings) {
   }
 }
 
+// Pipelined transpose blocks: transpose_start posts every diagonal block's
+// messages at start (payload-once), so scrambling src inside the window,
+// hammering unrelated parallel regions, and finishing handles in random
+// order must still deliver the transpose of the pristine src — including
+// non-square and odd shapes where the blocks are ragged.
+TEST_F(OverlapStressTest, TransposeBlocksSrcScrambleInsideWindow) {
+  const std::pair<index_t, index_t> shapes[] = {
+      {96, 96}, {64, 160}, {33, 7}, {5, 129}};
+  for (const char* m : kModes) {
+    for (int p : {3, 4, 5, 8}) {
+      Machine::instance().configure(p);
+      for (const auto& [n, cols] : shapes) {
+        for (std::uint64_t seed = 0; seed < 3; ++seed) {
+          std::mt19937_64 rng(seed * 7907 + static_cast<std::uint64_t>(p) +
+                              static_cast<std::uint64_t>(n * 31 + cols));
+          Array2<double> src{Shape<2>(n, cols)};
+          assign(src, 0, [=](index_t k) {
+            return static_cast<double>((k * 2654435761u) % 99991) * 1e-3 -
+                   40.0;
+          });
+          std::vector<double> pristine(src.data().data(),
+                                       src.data().data() + n * cols);
+          Array2<double> dst{Shape<2>(cols, n)};
+          auto scratch = make_vector<double>(n * cols);
+
+          set_mode(m);
+          auto h = comm::transpose_start(dst, src);
+          // Window: scramble src completely and run unrelated regions.
+          const double salt = static_cast<double>(rng()) * 1e-12;
+          update(src, 1, [salt](index_t i, double v) {
+            return -v * 3.0 + salt + static_cast<double>(i % 5);
+          });
+          fill_par(scratch, salt);
+          h.finish();
+          set_mode("direct");
+
+          for (index_t i = 0; i < cols; ++i) {
+            for (index_t j = 0; j < n; ++j) {
+              ASSERT_EQ(pristine[std::size_t(j * cols + i)], dst(i, j))
+                  << "mode=" << m << " p=" << p << " shape=" << n << "x"
+                  << cols << " seed=" << seed << " i=" << i << " j=" << j;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 // scatter_add_start: dst is freely mutable during the window; the adds land
 // at finish on whatever dst then holds, in the same global element order as
 // scatter_add_into. Randomized window mutations of dst must commute exactly.

@@ -261,16 +261,28 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
         "\ncommunication report (DPF_NET=%s, transport %s, %d VPs):\n",
         net::mode_name(net::mode()), net::transport().name(),
         Machine::instance().vps());
-    std::printf("  %-20s %5s %8s %12s %12s %12s %12s %12s\n", "pattern",
+    std::printf("  %-20s %5s %8s %12s %12s %12s %12s %12s %8s\n", "pattern",
                 "ranks", "count", "bytes", "offproc B", "measured s",
-                "overlap s", "predicted s");
+                "overlap s", "predicted s", "ovl eff");
+    // Overlap efficiency: seconds the payload flew behind compute per
+    // second the model says the exchange needs — window utilization
+    // without opening a Chrome trace. "-" when nothing was predicted.
+    const auto eff = [](double overlap, double predicted) {
+      char buf[16];
+      if (predicted > 0.0) {
+        std::snprintf(buf, sizeof buf, "%7.2f", overlap / predicted);
+      } else {
+        std::snprintf(buf, sizeof buf, "%7s", "-");
+      }
+      return std::string(buf);
+    };
     Agg total;
     for (const auto& [key, a] : table) {
       std::printf(
-          "  %-20s %2d->%-2d %8lld %12lld %12lld %12.6f %12.6f %12.6f\n",
+          "  %-20s %2d->%-2d %8lld %12lld %12lld %12.6f %12.6f %12.6f %8s\n",
           std::string(to_string(key.pattern)).c_str(), key.src_rank,
           key.dst_rank, a.count, a.bytes, a.offproc, a.seconds, a.overlap,
-          a.predicted);
+          a.predicted, eff(a.overlap, a.predicted).c_str());
       total.count += a.count;
       total.split += a.split;
       total.bytes += a.bytes;
@@ -279,9 +291,10 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
       total.overlap += a.overlap;
       total.predicted += a.predicted;
     }
-    std::printf("  %-20s %5s %8lld %12lld %12lld %12.6f %12.6f %12.6f\n",
+    std::printf("  %-20s %5s %8lld %12lld %12lld %12.6f %12.6f %12.6f %8s\n",
                 "total", "", total.count, total.bytes, total.offproc,
-                total.seconds, total.overlap, total.predicted);
+                total.seconds, total.overlap, total.predicted,
+                eff(total.overlap, total.predicted).c_str());
     if (total.split > 0) {
       std::printf(
           "  split-phase events     : %lld (%.6f s in flight behind "

@@ -6,7 +6,8 @@ Compares a freshly measured BENCH_perf.json against the committed baseline
 regressed by more than the noise bound. CI produces the current file with
 
     DPF_VPS=16 DPF_WORKERS=4 bench/perf_suite --reps 5 \
-        --only gauss-jordan,jacobi,transpose,fem-3D BENCH_perf.json
+        --only gauss-jordan,jacobi,transpose,fem-3D,diff-2D,diff-3D,ellip-2D \
+        BENCH_perf.json
     python3 tools/perf_gate.py --current BENCH_perf.json
 
 Elapsed times are normalized by the calibrated machine peak (elapsed *
@@ -27,7 +28,9 @@ import json
 import sys
 
 BASELINE_DEFAULT = "docs/BENCH_perf_baseline_comm.json"
-GATED = ["gauss-jordan", "jacobi", "transpose", "fem-3D"]
+# The comm-bound four plus the interior-first overlapped stencil set.
+GATED = ["gauss-jordan", "jacobi", "transpose", "fem-3D",
+         "diff-2D", "diff-3D", "ellip-2D"]
 TOLERANCE = 0.15       # >15% normalized-elapsed growth fails the gate
 FLOOR_SECONDS = 1e-3   # baselines faster than this are jitter, not signal
 
