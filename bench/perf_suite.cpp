@@ -29,6 +29,7 @@
 
 #include "bench/table_common.hpp"
 #include "core/machine.hpp"
+#include "net/net.hpp"
 #include "vec/vec.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/summary.hpp"
@@ -186,7 +187,8 @@ int main(int argc, char** argv) {
   // With tracing enabled, export the whole run's timeline and print the
   // per-worker summary so CI artifacts carry a loadable trace.
   if (trace::mode() != trace::Mode::Off) {
-    const auto snap = trace::collect();
+    auto snap = trace::collect();
+    dpf::net::merge_router_trace(snap);  // shm backend router tracks, if any
     std::string trace_path = "BENCH_trace.json";
     if (const char* env = std::getenv("DPF_TRACE_JSON")) trace_path = env;
     if (trace::write_chrome_trace(trace_path, snap)) {

@@ -163,14 +163,36 @@ CostModel& CostModel::instance() {
   return model;
 }
 
+namespace {
+
+/// Calibration slot of the currently selected transport backend.
+int backend_index() { return static_cast<int>(backend()); }
+
+}  // namespace
+
+bool CostModel::calibrated() const { return calibrated_[backend_index()]; }
+
+const CostModel::Params& CostModel::params() const {
+  return params_[backend_index()];
+}
+
+void CostModel::set_params(const Params& p) {
+  const int b = backend_index();
+  params_[b] = p;
+  calibrated_[b] = true;
+}
+
 void CostModel::calibrate(bool force) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (calibrated_ && !force) return;
+  const int b = backend_index();
+  if (calibrated_[b] && !force) return;
   assert(!Machine::instance().inside_region());
   Params p;
   p.radix = static_cast<int>(env_override("DPF_NET_RADIX", 4.0));
   p.contention = env_override("DPF_NET_CONTENTION", 0.33);
-  // Probes unless fully overridden from the environment.
+  // Probes unless fully overridden from the environment. The probes route
+  // through transport(), so they price the selected backend — the shm
+  // ping-pong pays the real cross-process delivery and quiesce cost.
   p.alpha = env_override("DPF_NET_ALPHA", 0.0);
   p.beta = env_override("DPF_NET_BETA", 0.0);
   p.gamma = env_override("DPF_NET_GAMMA", 0.0);
@@ -183,12 +205,12 @@ void CostModel::calibrate(bool force) {
     // fall back to a routing-scan estimate (the engine is unused there).
     p.delta = Machine::instance().vps() >= 2 ? probe_delta() : 8.0 * p.gamma;
   }
-  params_ = p;
-  calibrated_ = true;
+  params_[b] = p;
+  calibrated_[b] = true;
 }
 
 int CostModel::hops(int a, int b) const {
-  const int radix = std::max(2, params_.radix);
+  const int radix = std::max(2, params().radix);
   int h = 0;
   while (a != b) {
     a /= radix;
@@ -223,10 +245,10 @@ double CostModel::pattern_hops(CommPattern pat, int p) const {
   };
   thread_local Entry memo[kCommPatternCount];
   Entry& m = memo[static_cast<int>(pat)];
-  if (m.p != p || m.radix != params_.radix) {
+  if (m.p != p || m.radix != params().radix) {
     m.v = pattern_hops_uncached(pat, p);
     m.p = p;
-    m.radix = params_.radix;
+    m.radix = params().radix;
   }
   return m.v;
 }
@@ -259,11 +281,12 @@ double CostModel::pattern_hops_uncached(CommPattern pat, int p) const {
 
 double CostModel::predict(const CommEvent& e, int p, int workers,
                           bool algorithmic) const {
-  if (!calibrated_) return 0.0;
-  const double alpha = params_.alpha;
-  const double beta = params_.beta;
-  const double gamma = params_.gamma;
-  const double delta = params_.delta;
+  if (!calibrated()) return 0.0;
+  const Params& pr = params();
+  const double alpha = pr.alpha;
+  const double beta = pr.beta;
+  const double gamma = pr.gamma;
+  const double delta = pr.delta;
   const double bytes = static_cast<double>(e.bytes);
   const double offproc = static_cast<double>(e.offproc_bytes);
   // Element count under the paper's 8-byte DataType accounting.
@@ -273,7 +296,7 @@ double CostModel::predict(const CommEvent& e, int p, int workers,
   // Upper fat-tree links are shared: traffic that climbs above the first
   // level pays the contention surcharge per extra level.
   const double hop_factor =
-      1.0 + params_.contention * std::max(0.0, hop_levels - 1.0);
+      1.0 + pr.contention * std::max(0.0, hop_levels - 1.0);
 
   // Split-phase events report the unhidden remainder: the phase costs
   // minus the in-flight window the caller's compute covered, floored at

@@ -1,0 +1,259 @@
+#include "net/proc.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#endif
+
+namespace dpf::net::proc {
+
+void futex_wait(const std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                std::int64_t timeout_ns) {
+#if defined(__linux__)
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+  // Plain FUTEX_WAIT (no PRIVATE flag): the word lives in a MAP_SHARED
+  // arena and waiters/wakers are different processes.
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
+#else
+  if (word->load(std::memory_order_acquire) == expected) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        std::min<std::int64_t>(timeout_ns, 200'000)));
+  }
+#endif
+}
+
+void futex_wake(const std::atomic<std::uint32_t>* word, int count) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word), FUTEX_WAKE,
+          count, nullptr, nullptr, 0);
+#else
+  (void)word;
+  (void)count;
+#endif
+}
+
+int owner_of(int vp, int p, int procs) {
+  if (procs <= 1) return 0;
+  // Same block rule as block_of(): the first `rem` owners take one extra.
+  const int base = p / procs;
+  const int rem = p % procs;
+  const int cut = rem * (base + 1);
+  return vp < cut ? vp / (base + 1) : rem + (vp - cut) / base;
+}
+
+Range range_of(int proc, int p, int procs) {
+  if (procs <= 0) return {0, p};
+  const int base = p / procs;
+  const int rem = p % procs;
+  Range r;
+  r.begin = proc * base + std::min(proc, rem);
+  r.end = r.begin + base + (proc < rem ? 1 : 0);
+  return r;
+}
+
+int env_procs(int p) {
+  const int cap = std::max(1, std::min(p, 64));
+  const char* env = std::getenv("DPF_NET_PROCS");
+  if (env == nullptr || *env == '\0') return std::min(2, cap);
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end != env && *end == '\0' && v >= 0 && v <= 64) {
+    return std::min(static_cast<int>(v), cap);
+  }
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "dpf: ignoring DPF_NET_PROCS=\"%s\" (expected integer in "
+                 "[0, 64]); using default %d\n",
+                 env, std::min(2, cap));
+  }
+  return std::min(2, cap);
+}
+
+namespace {
+
+/// atexit guard: a pod leaked past main() would survive the parent (the
+/// routers poll shared memory forever). PDEATHSIG covers crashes; this
+/// covers orderly exits that skip the transport teardown.
+void kill_pod_at_exit() {
+  for (pid_t pid : Runtime::instance().pids()) {
+    if (pid == 0) continue;
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+  }
+}
+
+}  // namespace
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  static bool registered = [] {
+    std::atexit(&kill_pod_at_exit);
+    return true;
+  }();
+  (void)registered;
+  return rt;
+}
+
+Runtime::~Runtime() {
+  for (pid_t pid : pids_) kill(pid, SIGKILL);
+  reap_all();
+  unmap();
+}
+
+bool Runtime::map_arena(std::size_t bytes) {
+  stop(nullptr, 0);
+  unmap();
+
+  // A name unique to this (pid, instance) pair; unlinked before any child
+  // is forked, so no run — however it dies — leaves a /dev/shm entry.
+  char name[64];
+  static std::atomic<unsigned> serial{0};
+  std::snprintf(name, sizeof name, "/dpf-net-%ld-%u",
+                static_cast<long>(getpid()),
+                serial.fetch_add(1, std::memory_order_relaxed));
+  const int fd = shm_open(name, O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) {
+    std::fprintf(stderr, "dpf: shm_open(%s) failed: %s\n", name,
+                 std::strerror(errno));
+    return false;
+  }
+  shm_unlink(name);
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    std::fprintf(stderr, "dpf: ftruncate(%zu) on shm arena failed: %s\n",
+                 bytes, std::strerror(errno));
+    close(fd);
+    return false;
+  }
+  void* base =
+      mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  if (base == MAP_FAILED) {
+    std::fprintf(stderr, "dpf: mmap(%zu) of shm arena failed: %s\n", bytes,
+                 std::strerror(errno));
+    return false;
+  }
+  base_ = base;
+  bytes_ = bytes;
+  return true;
+}
+
+bool Runtime::respawn() {
+  if (base_ == nullptr || fn_ == nullptr) return false;
+  for (pid_t pid : pids_) {
+    if (pid != 0) kill(pid, SIGKILL);
+  }
+  reap_all();
+  return spawn(requested_procs_, fn_);
+}
+
+bool Runtime::spawn(int procs, ChildFn fn) {
+  if (base_ == nullptr) return false;
+  fn_ = fn;
+  requested_procs_ = procs;
+  pids_.clear();
+  for (int k = 0; k < procs; ++k) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "dpf: fork of router %d failed: %s\n", k,
+                   std::strerror(errno));
+      for (pid_t other : pids_) kill(other, SIGKILL);
+      reap_all();
+      return false;
+    }
+    if (pid == 0) {
+      // Router child. The parent is multi-threaded, so between here and
+      // _exit() only the arena and raw syscalls may be touched.
+#if defined(__linux__)
+      prctl(PR_SET_PDEATHSIG, SIGKILL);
+      if (getppid() == 1) _exit(0);  // parent died before the prctl landed
+#endif
+      fn_(base_, bytes_, k);
+      _exit(0);
+    }
+    pids_.push_back(pid);
+  }
+  return true;
+}
+
+void Runtime::stop(std::atomic<std::uint32_t>* stop_word,
+                   std::int64_t grace_ns) {
+  if (pids_.empty()) return;
+  if (stop_word != nullptr) {
+    stop_word->store(1, std::memory_order_release);
+    futex_wake(stop_word, 64);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(grace_ns);
+    for (;;) {
+      bool all_done = true;
+      for (pid_t& pid : pids_) {
+        if (pid == 0) continue;
+        const pid_t r = waitpid(pid, nullptr, WNOHANG);
+        if (r == pid || (r < 0 && errno == ECHILD)) {
+          pid = 0;
+        } else {
+          all_done = false;
+        }
+      }
+      if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::yield();
+    }
+  }
+  for (pid_t pid : pids_) {
+    if (pid != 0) kill(pid, SIGKILL);
+  }
+  reap_all();
+}
+
+void Runtime::reap_all() {
+  for (pid_t pid : pids_) {
+    if (pid != 0) waitpid(pid, nullptr, 0);
+  }
+  pids_.clear();
+}
+
+void Runtime::unmap() {
+  if (base_ != nullptr) munmap(base_, bytes_);
+  base_ = nullptr;
+  bytes_ = 0;
+  fn_ = nullptr;
+}
+
+bool Runtime::alive() {
+  bool ok = true;
+  for (pid_t& pid : pids_) {
+    if (pid == 0) {
+      ok = false;
+      continue;
+    }
+    const pid_t r = waitpid(pid, nullptr, WNOHANG);
+    if (r == pid || (r < 0 && errno == ECHILD)) {
+      pid = 0;  // reaped; slot stays so respawn() knows the pod size
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace dpf::net::proc

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file proc.hpp
+/// Multi-process runtime of the dpf::net shared-memory backend.
+///
+/// The runtime owns everything OS-process-shaped so the transport can stay
+/// a pure ring-buffer protocol:
+///
+///   * the POSIX shared-memory arena (shm_open + ftruncate + mmap). The
+///     segment is shm_unlink()ed immediately after mapping, before any
+///     child exists: children inherit the mapping across fork(), so the
+///     name never has to be reopened and a crashed or SIGKILLed run can
+///     never leave an orphaned /dev/shm entry behind;
+///   * the pod of DPF_NET_PROCS forked router processes. Each child runs a
+///     plain function pointer over the arena and nothing else — no malloc,
+///     no stdio, no locks inherited mid-flight from the threaded parent —
+///     and exits via _exit(). Children arm PR_SET_PDEATHSIG so an aborted
+///     parent reaps the whole pod implicitly;
+///   * health: alive() reaps exited children with waitpid(WNOHANG) and
+///     reports a dead pod so the transport can respawn routers over the
+///     still-mapped arena without losing in-flight messages;
+///   * futex wait/wake on 32-bit words inside the arena — the cross-process
+///     analogue of the worker pool's park/notify path. Waits are bounded so
+///     a wedged or killed child degrades into a poll, never a hang.
+///
+/// Contiguous VP ranges: endpoint delivery is sharded over the pod by
+/// owner_of()/range_of(), the same block rule the machine uses for VPs.
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpf::net::proc {
+
+/// Blocks until *word != expected, the deadline passes, or a spurious wake;
+/// uses FUTEX_WAIT on Linux and a yielding poll elsewhere. Safe to call
+/// from router children (syscall only, no allocation).
+void futex_wait(const std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                std::int64_t timeout_ns);
+
+/// Wakes up to `count` waiters parked on `word` (no-op off Linux).
+void futex_wake(const std::atomic<std::uint32_t>* word, int count);
+
+/// Owner process (0-based) of endpoint `vp` among `procs` router processes
+/// sharding `p` endpoints in contiguous blocks.
+[[nodiscard]] int owner_of(int vp, int p, int procs);
+
+/// Contiguous endpoint range [begin, end) owned by router `proc`.
+struct Range {
+  int begin = 0;
+  int end = 0;
+};
+[[nodiscard]] Range range_of(int proc, int p, int procs);
+
+/// Router-process count from DPF_NET_PROCS, clamped to [0, min(p, 64)].
+/// 0 selects the in-process (self-delivery) mode: no fork, the control
+/// thread advances the delivery cursors itself at each region barrier —
+/// the mode sanitizer runs use, since TSan cannot follow a fork.
+[[nodiscard]] int env_procs(int p);
+
+/// One mapped arena plus its pod of forked router processes.
+class Runtime {
+ public:
+  /// Entry point a router child runs over the arena; must only touch the
+  /// mapped memory and raw syscalls, and must return (the runtime _exit()s).
+  using ChildFn = void (*)(void* arena, std::size_t bytes, int proc_index);
+
+  static Runtime& instance();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Maps a fresh zero-filled shared arena of `bytes`, tearing down any
+  /// previous pod and arena first. The caller initializes the arena layout
+  /// *before* spawn() — children must never observe a half-built header.
+  /// Returns false (runtime stays unmapped) if the OS refuses the mapping.
+  bool map_arena(std::size_t bytes);
+
+  /// Forks `procs` children running `fn` over the current arena (procs == 0
+  /// leaves the pod empty: self-delivery mode). Returns false and kills any
+  /// partial pod if a fork fails.
+  bool spawn(int procs, ChildFn fn);
+
+  /// Forks the pod again over the *existing* arena (child-death recovery:
+  /// undelivered ring contents survive, the new routers resume from the
+  /// delivery cursors persisted in the arena).
+  bool respawn();
+
+  /// Requests shutdown via `stop_word` (routers poll it; set to 1 and
+  /// futex-woken here), grants the pod `grace_ns` to _exit(), then SIGKILLs
+  /// stragglers and reaps everything. Safe when already stopped.
+  void stop(std::atomic<std::uint32_t>* stop_word, std::int64_t grace_ns);
+
+  /// Unmaps the arena (pod must already be stopped).
+  void unmap();
+
+  /// True when an arena is mapped (there may be zero routers).
+  [[nodiscard]] bool mapped() const { return base_ != nullptr; }
+
+  [[nodiscard]] void* arena() const { return base_; }
+  [[nodiscard]] std::size_t arena_bytes() const { return bytes_; }
+
+  /// Live router count (the pod size requested at start()).
+  [[nodiscard]] int procs() const { return static_cast<int>(pids_.size()); }
+
+  [[nodiscard]] const std::vector<pid_t>& pids() const { return pids_; }
+
+  /// Reaps exited children. Returns true when every router in the pod is
+  /// still running (trivially true for an empty pod).
+  bool alive();
+
+ private:
+  Runtime() = default;
+  ~Runtime();
+
+  void reap_all();
+
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  ChildFn fn_ = nullptr;
+  int requested_procs_ = 0;
+  std::vector<pid_t> pids_;
+};
+
+}  // namespace dpf::net::proc

@@ -1,0 +1,676 @@
+#include "net/shm_transport.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/machine.hpp"
+#include "net/proc.hpp"
+
+namespace dpf::net {
+namespace shm_detail {
+
+constexpr std::uint64_t kMagic = 0x3176'7465'6e66'7064ULL;  // "dpfnetv1"
+constexpr std::uint64_t kEventSlots = 4096;  ///< delivery events kept per proc
+constexpr std::uint64_t kDefaultRing = 4u << 20;
+constexpr std::uint64_t kMinRing = 4096;
+constexpr std::uint64_t kMaxRing = 64u << 20;
+constexpr std::uint64_t kRingBudget = 2ull << 30;  ///< sum over p^2 rings
+constexpr std::uint64_t kMaxArena = 16ull << 30;   ///< refuse larger mappings
+
+/// One delivery performed by a router, recorded into its arena event ring
+/// (drop-oldest) and merged into trace snapshots as an external track.
+struct DeliverEvent {
+  std::uint64_t t0_ns;
+  std::uint64_t t1_ns;
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint64_t bytes;
+};
+static_assert(sizeof(DeliverEvent) == 32);
+
+/// Per-router-process mailbox slot in the arena header area.
+struct alignas(64) ProcSlot {
+  std::atomic<std::uint32_t> ack;       ///< last generation fully drained
+  std::atomic<std::uint32_t> doorbell;  ///< bumped per post; futex word
+  std::atomic<std::uint32_t> sleeping;  ///< router parked on the doorbell
+  std::atomic<std::uint64_t> delivered_msgs;
+  std::atomic<std::uint64_t> delivered_bytes;
+  std::atomic<std::uint64_t> event_head;  ///< DeliverEvents ever recorded
+};
+
+/// Cursor block of one (src -> dst) ring. All three are monotonic byte
+/// offsets (never wrapped): head <= delivered <= tail, tail - head <= cap.
+struct alignas(64) RingHdr {
+  std::atomic<std::uint64_t> tail;       ///< writer: posting VP (parent)
+  std::atomic<std::uint64_t> delivered;  ///< writer: dst's router process
+  std::atomic<std::uint64_t> head;       ///< writer: fetching VP (parent)
+};
+
+/// On-ring record header, followed by the payload padded to 8 bytes.
+/// `checksum` is written by the delivering router (FNV-1a over the payload)
+/// and re-verified by the fetcher; `consumed` marks out-of-order fetches so
+/// the head can later sweep the hole.
+struct RecHdr {
+  std::uint64_t tag;
+  std::uint64_t epoch;
+  std::uint64_t checksum;
+  std::uint32_t bytes;
+  std::uint32_t consumed;
+};
+static_assert(sizeof(RecHdr) == 32);
+
+/// Arena header at offset 0 of the shared mapping. The parent writes the
+/// layout fields before any child is forked; everything mutable afterwards
+/// is atomic.
+struct alignas(64) Arena {
+  std::uint64_t magic = 0;
+  std::uint32_t p = 0;
+  std::uint32_t slots = 0;  ///< ProcSlot count = max(1, procs)
+  std::uint64_t ring_bytes = 0;
+  std::uint64_t proc_off = 0;
+  std::uint64_t event_off = 0;
+  std::uint64_t hdr_off = 0;
+  std::uint64_t data_off = 0;
+  std::atomic<std::uint32_t> stop{0};
+  std::atomic<std::uint32_t> generation{0};
+};
+
+inline unsigned char* bytes_of(Arena* a) {
+  return reinterpret_cast<unsigned char*>(a);
+}
+
+inline ProcSlot* proc_slots(Arena* a) {
+  return reinterpret_cast<ProcSlot*>(bytes_of(a) + a->proc_off);
+}
+
+inline DeliverEvent* events_of(Arena* a, int slot) {
+  return reinterpret_cast<DeliverEvent*>(bytes_of(a) + a->event_off) +
+         static_cast<std::uint64_t>(slot) * kEventSlots;
+}
+
+inline RingHdr* ring_hdr(Arena* a, std::size_t pair) {
+  return reinterpret_cast<RingHdr*>(bytes_of(a) + a->hdr_off) + pair;
+}
+
+inline unsigned char* ring_data(Arena* a, std::size_t pair) {
+  return bytes_of(a) + a->data_off + pair * a->ring_bytes;
+}
+
+inline std::uint64_t pad8(std::uint64_t n) { return (n + 7) & ~std::uint64_t{7}; }
+
+/// CLOCK_MONOTONIC nanoseconds — same time base as trace::now_ns(), and
+/// safe in a forked child (no allocation, vdso syscall).
+inline std::uint64_t mono_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Wrapping copy into a ring (capacity mask + 1, a power of two).
+inline void ring_write(unsigned char* base, std::uint64_t mask,
+                       std::uint64_t off, const void* src, std::uint64_t n) {
+  const std::uint64_t cap = mask + 1;
+  const std::uint64_t i = off & mask;
+  const std::uint64_t first = std::min(n, cap - i);
+  std::memcpy(base + i, src, first);
+  if (n > first) {
+    std::memcpy(base, static_cast<const unsigned char*>(src) + first,
+                n - first);
+  }
+}
+
+inline void ring_read(const unsigned char* base, std::uint64_t mask,
+                      std::uint64_t off, void* dst, std::uint64_t n) {
+  const std::uint64_t cap = mask + 1;
+  const std::uint64_t i = off & mask;
+  const std::uint64_t first = std::min(n, cap - i);
+  std::memcpy(dst, base + i, first);
+  if (n > first) {
+    std::memcpy(static_cast<unsigned char*>(dst) + first, base, n - first);
+  }
+}
+
+/// FNV-1a over `n` ring bytes starting at logical offset `off`. This walk
+/// is the router's "wire hop": delivery actually reads every payload byte
+/// in another OS process, and the fetcher re-verifies the digest.
+inline std::uint64_t fnv_ring(const unsigned char* base, std::uint64_t mask,
+                              std::uint64_t off, std::uint64_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h ^= base[(off + i) & mask];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Delivery sweep over the rings of destinations [dst_begin, dst_end):
+/// checksum each undelivered record, publish the digest, advance the ring's
+/// `delivered` cursor, and record the event under proc slot `slot`. Runs in
+/// router children (arena + syscalls only) and, for self-delivery and
+/// dead-pod recovery, on the parent's control thread.
+bool deliver_sweep(Arena* a, int dst_begin, int dst_end, int slot) {
+  const int p = static_cast<int>(a->p);
+  const std::uint64_t mask = a->ring_bytes - 1;
+  ProcSlot& me = proc_slots(a)[slot];
+  DeliverEvent* ev = events_of(a, slot);
+  bool any = false;
+  for (int dst = dst_begin; dst < dst_end; ++dst) {
+    for (int src = 0; src < p; ++src) {
+      const std::size_t pair = static_cast<std::size_t>(dst) *
+                                   static_cast<std::size_t>(p) +
+                               static_cast<std::size_t>(src);
+      RingHdr* rh = ring_hdr(a, pair);
+      std::uint64_t del = rh->delivered.load(std::memory_order_relaxed);
+      const std::uint64_t tail = rh->tail.load(std::memory_order_acquire);
+      if (del == tail) continue;
+      unsigned char* data = ring_data(a, pair);
+      while (del < tail) {
+        RecHdr h;
+        ring_read(data, mask, del, &h, sizeof h);
+        const std::uint64_t t0 = mono_ns();
+        const std::uint64_t sum =
+            fnv_ring(data, mask, del + sizeof(RecHdr), h.bytes);
+        // The checksum word is 8-aligned and the capacity is a power of
+        // two >= 4096, so it never straddles the wrap point.
+        ring_write(data, mask, del + 16, &sum, sizeof sum);
+        const std::uint64_t t1 = mono_ns();
+        const std::uint64_t eh = me.event_head.load(std::memory_order_relaxed);
+        ev[eh & (kEventSlots - 1)] =
+            DeliverEvent{t0, t1, static_cast<std::uint32_t>(src),
+                         static_cast<std::uint32_t>(dst), h.bytes};
+        me.event_head.store(eh + 1, std::memory_order_release);
+        me.delivered_msgs.fetch_add(1, std::memory_order_relaxed);
+        me.delivered_bytes.fetch_add(h.bytes, std::memory_order_relaxed);
+        del += sizeof(RecHdr) + pad8(h.bytes);
+        any = true;
+      }
+      rh->delivered.store(del, std::memory_order_release);
+    }
+  }
+  return any;
+}
+
+/// Router child entry point (proc::Runtime::ChildFn). Loops: sweep owned
+/// rings; when idle, acknowledge the current generation and park on the
+/// doorbell (bounded wait, so a missed wake degrades into a 2 ms poll).
+void router_main(void* base, std::size_t /*bytes*/, int k) {
+  Arena* a = static_cast<Arena*>(base);
+  const int p = static_cast<int>(a->p);
+  ProcSlot& me = proc_slots(a)[k];
+  const proc::Range r = proc::range_of(k, p, static_cast<int>(a->slots));
+  for (;;) {
+    if (a->stop.load(std::memory_order_acquire) != 0) return;
+    // Read the generation *before* sweeping: if we observe generation g,
+    // the quiesce that published g happened after every region-g post's
+    // tail store, so the sweep below sees them all and the ack is honest.
+    const std::uint32_t gen = a->generation.load(std::memory_order_acquire);
+    if (deliver_sweep(a, r.begin, r.end, k)) continue;
+    if (static_cast<std::int32_t>(me.ack.load(std::memory_order_relaxed) -
+                                  gen) < 0) {
+      me.ack.store(gen, std::memory_order_release);
+      proc::futex_wake(&me.ack, 64);
+      continue;
+    }
+    const std::uint32_t db = me.doorbell.load(std::memory_order_acquire);
+    me.sleeping.store(1, std::memory_order_release);
+    if (me.doorbell.load(std::memory_order_acquire) == db &&
+        a->stop.load(std::memory_order_acquire) == 0) {
+      proc::futex_wait(&me.doorbell, db, 2'000'000);
+    }
+    me.sleeping.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace shm_detail
+
+namespace {
+
+std::atomic<bool> g_created{false};
+
+/// Ring capacity per pair: DPF_NET_SHM_RING bytes (pow2-rounded, clamped to
+/// [4 KiB, 64 MiB]), then halved until the p^2 rings fit the 2 GiB budget.
+/// The arena is sparse tmpfs, so this bounds *virtual* size; only touched
+/// pages cost memory.
+std::uint64_t pick_ring_bytes(int p) {
+  namespace d = shm_detail;
+  std::uint64_t v = d::kDefaultRing;
+  const char* env = std::getenv("DPF_NET_SHM_RING");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= d::kMinRing &&
+        parsed <= d::kMaxRing) {
+      v = parsed;
+    } else {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "dpf: ignoring DPF_NET_SHM_RING=\"%s\" (expected bytes "
+                     "in [%llu, %llu]); using default %llu\n",
+                     env, static_cast<unsigned long long>(d::kMinRing),
+                     static_cast<unsigned long long>(d::kMaxRing),
+                     static_cast<unsigned long long>(d::kDefaultRing));
+      }
+    }
+  }
+  std::uint64_t pow2 = d::kMinRing;
+  while (pow2 < v) pow2 <<= 1;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p);
+  while (pow2 > d::kMinRing && pow2 * pairs > d::kRingBudget) pow2 >>= 1;
+  return pow2;
+}
+
+std::uint64_t align64(std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; }
+
+}  // namespace
+
+ShmTransport& ShmTransport::instance() {
+  // Touch the process runtime first so it outlives the transport: the
+  // transport's destructor stops the pod through it.
+  proc::Runtime::instance();
+  static ShmTransport t;
+  g_created.store(true, std::memory_order_release);
+  return t;
+}
+
+bool ShmTransport::created() {
+  return g_created.load(std::memory_order_acquire);
+}
+
+ShmTransport::~ShmTransport() { shutdown(); }
+
+void ShmTransport::resize(int endpoints) {
+  namespace d = shm_detail;
+  if (endpoints < 1) endpoints = 1;
+  shutdown();
+  p_ = endpoints;
+  procs_ = proc::env_procs(p_);
+  ring_bytes_ = pick_ring_bytes(p_);
+  const int slots = std::max(1, procs_);
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(p_) * static_cast<std::uint64_t>(p_);
+
+  d::Arena layout;
+  std::uint64_t off = align64(sizeof(d::Arena));
+  layout.proc_off = off;
+  off += static_cast<std::uint64_t>(slots) * sizeof(d::ProcSlot);
+  layout.event_off = align64(off);
+  off = layout.event_off + static_cast<std::uint64_t>(slots) * d::kEventSlots *
+                               sizeof(d::DeliverEvent);
+  layout.hdr_off = align64(off);
+  off = layout.hdr_off + pairs * sizeof(d::RingHdr);
+  layout.data_off = align64(off);
+  const std::uint64_t total = layout.data_off + pairs * ring_bytes_;
+  if (total > d::kMaxArena) {
+    std::fprintf(stderr,
+                 "dpf: shm arena for %d endpoints would need %llu bytes "
+                 "(limit %llu); not starting the shm backend\n",
+                 p_, static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(d::kMaxArena));
+    return;  // stays stopped; transport() falls back to local
+  }
+
+  proc::Runtime& rt = proc::Runtime::instance();
+  if (!rt.map_arena(static_cast<std::size_t>(total))) return;
+
+  // The mapping is zero-filled; placement-construct the header and the
+  // atomic arrays before any child can be forked.
+  d::Arena* a = new (rt.arena()) d::Arena{};
+  a->magic = d::kMagic;
+  a->p = static_cast<std::uint32_t>(p_);
+  a->slots = static_cast<std::uint32_t>(slots);
+  a->ring_bytes = ring_bytes_;
+  a->proc_off = layout.proc_off;
+  a->event_off = layout.event_off;
+  a->hdr_off = layout.hdr_off;
+  a->data_off = layout.data_off;
+  for (int k = 0; k < slots; ++k) new (d::proc_slots(a) + k) d::ProcSlot{};
+  for (std::uint64_t i = 0; i < pairs; ++i) new (d::ring_hdr(a, i)) d::RingHdr{};
+  arena_ = a;
+
+  overflow_.resize(p_);
+  overflow_pending_.reset(new std::atomic<std::uint32_t>[pairs]);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    overflow_pending_[i].store(0, std::memory_order_relaxed);
+  }
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  pending_.store(0, std::memory_order_relaxed);
+  overflow_posts_.store(0, std::memory_order_relaxed);
+  unquiesced_.store(0, std::memory_order_relaxed);
+
+  if (procs_ > 0 && !rt.spawn(procs_, &shm_detail::router_main)) {
+    procs_ = 0;  // fork refused: degrade to self-delivery, stay running
+  }
+}
+
+void ShmTransport::shutdown() {
+  proc::Runtime& rt = proc::Runtime::instance();
+  if (arena_ != nullptr) {
+    rt.stop(&arena_->stop, 200'000'000);
+  } else {
+    rt.stop(nullptr, 0);
+  }
+  rt.unmap();
+  arena_ = nullptr;
+  procs_ = 0;
+}
+
+void ShmTransport::post(int src, int dst, std::uint64_t tag, const void* data,
+                        std::size_t bytes) {
+  namespace d = shm_detail;
+  assert(running());
+  assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  const std::size_t pair = static_cast<std::size_t>(dst) *
+                               static_cast<std::size_t>(p_) +
+                           static_cast<std::size_t>(src);
+  const std::uint64_t rec = sizeof(d::RecHdr) + d::pad8(bytes);
+
+  // Ring-vs-overflow choice. Once a pair overflows, later posts of that
+  // pair overflow too until the mailbox drains — so for any (pair, tag) the
+  // ring's records are always older than the overflow's, and checking the
+  // ring first in try_fetch preserves FIFO per tag.
+  bool use_ring =
+      overflow_pending_[pair].load(std::memory_order_acquire) == 0;
+  std::uint64_t tail = 0;
+  d::RingHdr* rh = nullptr;
+  if (use_ring) {
+    rh = d::ring_hdr(arena_, pair);
+    tail = rh->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = rh->head.load(std::memory_order_acquire);
+    if (rec > ring_bytes_ - (tail - head)) use_ring = false;
+  }
+
+  if (!use_ring) {
+    overflow_pending_[pair].fetch_add(1, std::memory_order_release);
+    overflow_posts_.fetch_add(1, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    overflow_.post(src, dst, tag, data, bytes);  // records its own trace span
+    return;
+  }
+
+  const bool tracing = trace::enabled(trace::Mode::Full);
+  const std::uint64_t t0 = tracing ? trace::now_ns() : 0;
+  const std::uint64_t epoch = Machine::instance().region_serial();
+  const std::uint64_t mask = ring_bytes_ - 1;
+  unsigned char* ring = d::ring_data(arena_, pair);
+  d::RecHdr h;
+  h.tag = tag;
+  h.epoch = epoch;
+  h.checksum = 0;  // written by the delivering router
+  h.bytes = static_cast<std::uint32_t>(bytes);
+  h.consumed = 0;
+  d::ring_write(ring, mask, tail, &h, sizeof h);
+  if (bytes > 0) d::ring_write(ring, mask, tail + sizeof h, data, bytes);
+  rh->tail.store(tail + rec, std::memory_order_release);
+
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  unquiesced_.fetch_add(1, std::memory_order_relaxed);
+
+  if (procs_ > 0) {
+    d::ProcSlot& owner =
+        d::proc_slots(arena_)[proc::owner_of(dst, p_, procs_)];
+    owner.doorbell.fetch_add(1, std::memory_order_release);
+    if (owner.sleeping.load(std::memory_order_acquire) != 0) {
+      proc::futex_wake(&owner.doorbell, 1);
+    }
+  }
+  if (tracing) {
+    trace::transport_span(true, src, dst, bytes, t0, trace::now_ns(), epoch);
+  }
+  // A post outside any SPMD region will never meet a region barrier, so
+  // deliver it on the spot (control-thread paths: tests, probes).
+  if (!Machine::instance().inside_region()) quiesce();
+}
+
+bool ShmTransport::try_fetch(int dst, int src, std::uint64_t tag, void* out,
+                             std::size_t bytes) {
+  namespace d = shm_detail;
+  assert(running());
+  assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  const std::size_t pair = static_cast<std::size_t>(dst) *
+                               static_cast<std::size_t>(p_) +
+                           static_cast<std::size_t>(src);
+  const bool tracing = trace::enabled(trace::Mode::Full);
+  const std::uint64_t t0 = tracing ? trace::now_ns() : 0;
+  d::RingHdr* rh = d::ring_hdr(arena_, pair);
+  const std::uint64_t head = rh->head.load(std::memory_order_relaxed);
+  const std::uint64_t del = rh->delivered.load(std::memory_order_acquire);
+  const std::uint64_t mask = ring_bytes_ - 1;
+  unsigned char* ring = d::ring_data(arena_, pair);
+  for (std::uint64_t off = head; off < del;) {
+    d::RecHdr h;
+    d::ring_read(ring, mask, off, &h, sizeof h);
+    const std::uint64_t rec = sizeof h + d::pad8(h.bytes);
+    if (h.consumed == 0 && h.tag == tag) {
+      // Phase discipline: the posting region must have ended before the
+      // fetching region started (see transport.hpp).
+      assert(h.epoch != Machine::instance().region_serial() ||
+             !Machine::instance().inside_region());
+      assert(h.bytes == bytes);
+      // Verify the digest the router computed when it walked the payload:
+      // the proof this message took its cross-process hop intact.
+      const std::uint64_t sum = d::fnv_ring(ring, mask, off + sizeof h, bytes);
+      assert(sum == h.checksum);
+      (void)sum;
+      if (bytes > 0) d::ring_read(ring, mask, off + sizeof h, out, bytes);
+      const std::uint32_t one = 1;
+      d::ring_write(ring, mask, off + offsetof(d::RecHdr, consumed), &one,
+                    sizeof one);
+      // Reclaim the consumed prefix.
+      std::uint64_t nh = head;
+      while (nh < del) {
+        d::RecHdr hh;
+        d::ring_read(ring, mask, nh, &hh, sizeof hh);
+        if (hh.consumed == 0) break;
+        nh += sizeof hh + d::pad8(hh.bytes);
+      }
+      if (nh != head) rh->head.store(nh, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (tracing) {
+        trace::transport_span(false, src, dst, bytes, t0, trace::now_ns(),
+                              Machine::instance().region_serial());
+      }
+      return true;
+    }
+    off += rec;
+  }
+  if (overflow_pending_[pair].load(std::memory_order_acquire) > 0 &&
+      overflow_.try_fetch(dst, src, tag, out, bytes)) {
+    overflow_pending_[pair].fetch_sub(1, std::memory_order_release);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::ptrdiff_t ShmTransport::probe(int dst, int src, std::uint64_t tag) const {
+  namespace d = shm_detail;
+  assert(running());
+  assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+  const std::size_t pair = static_cast<std::size_t>(dst) *
+                               static_cast<std::size_t>(p_) +
+                           static_cast<std::size_t>(src);
+  d::Arena* a = arena_;
+  const d::RingHdr* rh = d::ring_hdr(a, pair);
+  const std::uint64_t head = rh->head.load(std::memory_order_relaxed);
+  const std::uint64_t del = rh->delivered.load(std::memory_order_acquire);
+  const std::uint64_t mask = ring_bytes_ - 1;
+  const unsigned char* ring = d::ring_data(a, pair);
+  for (std::uint64_t off = head; off < del;) {
+    d::RecHdr h;
+    d::ring_read(ring, mask, off, &h, sizeof h);
+    if (h.consumed == 0 && h.tag == tag) {
+      return static_cast<std::ptrdiff_t>(h.bytes);
+    }
+    off += sizeof h + d::pad8(h.bytes);
+  }
+  if (overflow_pending_[pair].load(std::memory_order_acquire) > 0) {
+    return overflow_.probe(dst, src, tag);
+  }
+  return -1;
+}
+
+void ShmTransport::reset() {
+  namespace d = shm_detail;
+  if (running()) {
+    quiesce();  // delivered == tail everywhere afterwards
+    const std::uint64_t pairs =
+        static_cast<std::uint64_t>(p_) * static_cast<std::uint64_t>(p_);
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+      d::RingHdr* rh = d::ring_hdr(arena_, i);
+      rh->head.store(rh->tail.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    assert(all_delivered());
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+      overflow_pending_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  overflow_.reset();
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  pending_.store(0, std::memory_order_relaxed);
+  overflow_posts_.store(0, std::memory_order_relaxed);
+  unquiesced_.store(0, std::memory_order_relaxed);
+}
+
+bool ShmTransport::all_delivered() const {
+  namespace d = shm_detail;
+  if (!running()) return true;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(p_) * static_cast<std::uint64_t>(p_);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const d::RingHdr* rh = d::ring_hdr(arena_, i);
+    if (rh->delivered.load(std::memory_order_acquire) !=
+        rh->tail.load(std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShmTransport::self_deliver() {
+  shm_detail::deliver_sweep(arena_, 0, p_, 0);
+}
+
+void ShmTransport::quiesce() {
+  namespace d = shm_detail;
+  if (!running()) return;
+  if (unquiesced_.load(std::memory_order_relaxed) == 0) return;
+  unquiesced_.store(0, std::memory_order_relaxed);
+  if (procs_ == 0) {
+    self_deliver();
+    return;
+  }
+  proc::Runtime& rt = proc::Runtime::instance();
+  if (!rt.alive()) {
+    // A router died mid-run. The arena — cursors and undelivered records —
+    // is intact, so a fresh pod resumes with no message loss.
+    ++respawns_;
+    if (!rt.respawn()) {
+      self_deliver();
+      return;
+    }
+  }
+  d::Arena* a = arena_;
+  const std::uint32_t g =
+      a->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+  d::ProcSlot* slots = d::proc_slots(a);
+  for (int k = 0; k < procs_; ++k) {
+    slots[k].doorbell.fetch_add(1, std::memory_order_release);
+    proc::futex_wake(&slots[k].doorbell, 1);
+  }
+  std::int64_t waited_ns = 0;
+  for (int k = 0; k < procs_; ++k) {
+    for (;;) {
+      const std::uint32_t ack = slots[k].ack.load(std::memory_order_acquire);
+      if (static_cast<std::int32_t>(ack - g) >= 0) break;
+      proc::futex_wait(&slots[k].ack, ack, 1'000'000);
+      waited_ns += 1'000'000;
+      if (waited_ns < 2'000'000'000) continue;
+      if (!rt.alive()) {
+        ++respawns_;
+        if (rt.respawn()) {
+          waited_ns = 0;
+          for (int j = 0; j < procs_; ++j) {
+            slots[j].doorbell.fetch_add(1, std::memory_order_release);
+            proc::futex_wake(&slots[j].doorbell, 1);
+          }
+          continue;
+        }
+      }
+      // Wedged pod (or respawn refused): take over on the control thread so
+      // the program never hangs, then re-fork for the next region.
+      rt.stop(&a->stop, 100'000'000);
+      self_deliver();
+      for (int j = 0; j < procs_; ++j) {
+        slots[j].ack.store(g, std::memory_order_release);
+      }
+      a->stop.store(0, std::memory_order_release);
+      ++respawns_;
+      if (!rt.respawn()) procs_ = 0;
+      return;
+    }
+  }
+}
+
+std::uint64_t ShmTransport::delivered_messages() const {
+  namespace d = shm_detail;
+  if (!running()) return 0;
+  std::uint64_t total = 0;
+  const int slots = static_cast<int>(arena_->slots);
+  for (int k = 0; k < slots; ++k) {
+    total +=
+        d::proc_slots(arena_)[k].delivered_msgs.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const std::vector<pid_t>& ShmTransport::router_pids() const {
+  return proc::Runtime::instance().pids();
+}
+
+void ShmTransport::append_router_trace(trace::Snapshot& snap) const {
+  namespace d = shm_detail;
+  if (!running()) return;
+  const int slots = static_cast<int>(arena_->slots);
+  for (int k = 0; k < slots; ++k) {
+    const d::ProcSlot& ps = d::proc_slots(arena_)[k];
+    const std::uint64_t pushed = ps.event_head.load(std::memory_order_acquire);
+    if (pushed == 0) continue;
+    const std::uint64_t kept = std::min(pushed, d::kEventSlots);
+    trace::ExternalTrack track;
+    char name[32];
+    std::snprintf(name, sizeof name, "net router %d", k);
+    track.name = name;
+    track.dropped = pushed - kept;
+    track.events.reserve(static_cast<std::size_t>(kept));
+    const d::DeliverEvent* ev = d::events_of(arena_, k);
+    for (std::uint64_t i = pushed - kept; i < pushed; ++i) {
+      const d::DeliverEvent& de = ev[i & (d::kEventSlots - 1)];
+      trace::Event e;
+      e.kind = trace::EventKind::Deliver;
+      e.t0_ns = de.t0_ns;
+      e.t1_ns = de.t1_ns;
+      e.arg = de.bytes;
+      e.x = static_cast<std::uint16_t>(de.src);
+      e.y = static_cast<std::uint16_t>(de.dst);
+      track.events.push_back(e);
+    }
+    snap.external.push_back(std::move(track));
+  }
+}
+
+}  // namespace dpf::net

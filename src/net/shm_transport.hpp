@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file shm_transport.hpp
+/// Multi-process shared-memory Transport backend (DPF_NET_BACKEND=shm).
+///
+/// Where LocalTransport keeps per-pair mailboxes in process-private vectors,
+/// this backend places them in ring buffers inside one POSIX shared-memory
+/// arena, and shards *delivery* of the endpoints across DPF_NET_PROCS forked
+/// router processes (proc.hpp): router k owns a contiguous VP range, and a
+/// message to VP d becomes fetchable only after d's owner has walked its
+/// payload (computing a checksum the fetcher re-verifies) and advanced the
+/// ring's cross-process `delivered` cursor. Every message therefore takes a
+/// real store-and-verify hop through another OS process — the analogue of a
+/// NIC/switch on the one-node stand-in for the CM-5 data network — which is
+/// why the backend gets its own calibrated cost-model constants.
+///
+/// Each ordered pair (src -> dst) owns one SPSC byte ring with three
+/// monotonic cursors:
+///
+///   head <= delivered <= tail,   tail - head <= capacity
+///
+///   * tail      — advanced by the posting VP (exactly one writer per region
+///                 under the phase discipline);
+///   * delivered — advanced by dst's router process after checksumming;
+///   * head      — advanced by the fetching VP past consumed records.
+///
+/// The phase protocol's happens-before edge (post in region k, fetch in
+/// region k+1) is reproduced across processes by a generation counter in the
+/// arena header: the machine's region-barrier hook bumps it and futex-waits
+/// until every router acknowledges a full drain, so by the time any VP runs
+/// in region k+1, `delivered` covers everything region k posted. Fetches by
+/// tag may consume out of order; holes are reclaimed when the head sweeps
+/// over consumed records.
+///
+/// Robustness: the arena is shm_unlink()ed before the first fork, so no exit
+/// path can leak a /dev/shm segment. A record that cannot fit its pair's
+/// ring (or would overtake an earlier overflowed message of the same pair)
+/// takes an in-process overflow mailbox instead of blocking — oversized
+/// payloads degrade, they never deadlock. A router killed mid-run is
+/// detected at the next quiesce and the pod is re-forked over the same
+/// arena; undelivered messages survive in the rings, so the run continues
+/// bit-identically. DPF_NET_PROCS=0 selects self-delivery (the control
+/// thread advances `delivered` at each barrier) — the fork-free mode the
+/// TSan legs exercise.
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/local_transport.hpp"
+#include "net/transport.hpp"
+#include "trace/trace.hpp"
+
+namespace dpf::net {
+
+namespace shm_detail {
+struct Arena;  // layout lives in shm_transport.cpp
+}
+
+class ShmTransport final : public Transport {
+ public:
+  /// The process-wide instance (constructed stopped; resize() builds the
+  /// arena and forks the pod).
+  static ShmTransport& instance();
+
+  /// True once instance() has ever been called — lets the reconfigure hook
+  /// avoid constructing the backend just to resize it.
+  [[nodiscard]] static bool created();
+
+  ~ShmTransport() override;
+
+  [[nodiscard]] int endpoints() const override { return p_; }
+
+  /// Tears down the pod, maps a fresh arena for `endpoints` VPs and forks
+  /// DPF_NET_PROCS routers. Control thread only. On any OS failure the
+  /// transport stays stopped (running() == false) and the caller falls back
+  /// to the local backend.
+  void resize(int endpoints) override;
+
+  void post(int src, int dst, std::uint64_t tag, const void* data,
+            std::size_t bytes) override;
+
+  bool try_fetch(int dst, int src, std::uint64_t tag, void* data,
+                 std::size_t bytes) override;
+
+  [[nodiscard]] std::ptrdiff_t probe(int dst, int src,
+                                     std::uint64_t tag) const override;
+
+  [[nodiscard]] std::uint64_t pending() const override {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  void reset() override;
+
+  [[nodiscard]] const char* name() const override { return "shm"; }
+
+  [[nodiscard]] TransportStats stats() const override {
+    return {messages_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed)};
+  }
+
+  /// True when the arena is mapped and sized to endpoints().
+  [[nodiscard]] bool running() const { return arena_ != nullptr; }
+
+  /// Router pod size (0 = self-delivery mode).
+  [[nodiscard]] int procs() const { return procs_; }
+
+  /// Payload ring capacity per ordered VP pair, in bytes.
+  [[nodiscard]] std::uint64_t ring_capacity() const { return ring_bytes_; }
+
+  /// Messages that took the in-process overflow mailbox instead of a ring
+  /// (oversized, ring momentarily full, or ordered behind an overflowed
+  /// message of the same pair).
+  [[nodiscard]] std::uint64_t overflow_posts() const {
+    return overflow_posts_.load(std::memory_order_relaxed);
+  }
+
+  /// Messages delivered by the router pod since resize(), summed across
+  /// processes (read from the arena's per-process slots).
+  [[nodiscard]] std::uint64_t delivered_messages() const;
+
+  /// Router pods killed and re-forked after a child death.
+  [[nodiscard]] std::uint64_t respawns() const { return respawns_; }
+
+  /// PIDs of the live router pod (empty in self-delivery mode).
+  [[nodiscard]] const std::vector<pid_t>& router_pids() const;
+
+  /// Region-barrier hook body: publishes a new generation and waits (futex)
+  /// until every router has drained everything posted this region. Called
+  /// on the dispatching thread at every top-level region boundary; returns
+  /// immediately when nothing was posted since the last quiesce.
+  void quiesce();
+
+  /// Stops the pod and unmaps the arena (running() becomes false). Safe to
+  /// call when already stopped; resize() restarts.
+  void shutdown();
+
+  /// Appends one external track per router process to a collected trace
+  /// snapshot — the per-process delivery timelines recorded in the arena's
+  /// event rings, merged on export (Deliver spans: src/dst/bytes).
+  void append_router_trace(trace::Snapshot& snap) const;
+
+ private:
+  ShmTransport() = default;
+
+  /// Control-thread delivery of every undelivered record (self-delivery
+  /// mode and the dead-pod recovery path).
+  void self_deliver();
+
+  /// True when every ring's delivered cursor has caught its tail.
+  [[nodiscard]] bool all_delivered() const;
+
+  shm_detail::Arena* arena_ = nullptr;  ///< header view of the mapped arena
+  int p_ = 0;
+  int procs_ = 0;
+  std::uint64_t ring_bytes_ = 0;
+
+  /// In-process escape hatch for records a ring cannot take. Pair-ordered
+  /// with the rings via overflow_pending_ (see post()).
+  LocalTransport overflow_{1};
+  std::unique_ptr<std::atomic<std::uint32_t>[]> overflow_pending_;
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> overflow_posts_{0};
+  std::atomic<std::uint64_t> unquiesced_{0};  ///< ring posts since quiesce()
+  std::uint64_t respawns_ = 0;
+};
+
+}  // namespace dpf::net

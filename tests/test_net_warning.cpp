@@ -1,7 +1,7 @@
-// DPF_NET environment handling (net.cpp): a set-but-unrecognized mode must
-// not silently run direct — it warns once on stderr (the DPF_SIMD /
-// DPF_WORKERS idiom) and then falls back. Recognized values, an explicit
-// "direct", and an unset variable stay silent.
+// DPF_NET / DPF_NET_BACKEND environment handling (net.cpp): a
+// set-but-unrecognized value must not silently run the default — it warns
+// once on stderr (the DPF_SIMD / DPF_WORKERS idiom) and then falls back.
+// Recognized values, explicit defaults, and unset variables stay silent.
 
 #include <gtest/gtest.h>
 
@@ -63,6 +63,62 @@ TEST_F(NetModeWarningTest, UnrecognizedValueWarnsOnceAndFallsBackToDirect) {
   testing::internal::CaptureStderr();
   EXPECT_EQ(net::Mode::Direct, net::mode());
   EXPECT_EQ("", testing::internal::GetCapturedStderr());
+}
+
+// --- DPF_NET_BACKEND: same loud-once policy for the transport selector ----
+
+class NetBackendWarningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* cur = std::getenv("DPF_NET_BACKEND");
+    had_ = cur != nullptr;
+    if (had_) saved_ = cur;
+  }
+  void TearDown() override {
+    if (had_) {
+      setenv("DPF_NET_BACKEND", saved_.c_str(), 1);
+    } else {
+      unsetenv("DPF_NET_BACKEND");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST_F(NetBackendWarningTest, ValidValuesAndUnsetStaySilent) {
+  testing::internal::CaptureStderr();
+  unsetenv("DPF_NET_BACKEND");
+  EXPECT_EQ(net::Backend::Local, net::backend());
+  setenv("DPF_NET_BACKEND", "local", 1);  // explicit default: silent
+  EXPECT_EQ(net::Backend::Local, net::backend());
+  setenv("DPF_NET_BACKEND", "shm", 1);
+  EXPECT_EQ(net::Backend::Shm, net::backend());
+  setenv("DPF_NET_BACKEND", "", 1);  // empty string counts as unset
+  EXPECT_EQ(net::Backend::Local, net::backend());
+  EXPECT_EQ("", testing::internal::GetCapturedStderr());
+}
+
+TEST_F(NetBackendWarningTest, UnrecognizedValueWarnsOnceAndFallsBackToLocal) {
+  setenv("DPF_NET_BACKEND", "shared", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(net::Backend::Local, net::backend());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(std::string::npos, err.find("ignoring DPF_NET_BACKEND=\"shared\""))
+      << "stderr was: " << err;
+  EXPECT_NE(std::string::npos, err.find("local|shm")) << "stderr was: " << err;
+
+  // One-shot: a second probe (even with a different bad value) is silent.
+  setenv("DPF_NET_BACKEND", "mpi", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(net::Backend::Local, net::backend());
+  EXPECT_EQ("", testing::internal::GetCapturedStderr());
+}
+
+TEST_F(NetBackendWarningTest, BackendNamesRoundTrip) {
+  EXPECT_STREQ("local", net::backend_name(net::Backend::Local));
+  EXPECT_STREQ("shm", net::backend_name(net::Backend::Shm));
 }
 
 }  // namespace

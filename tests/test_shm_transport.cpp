@@ -1,0 +1,514 @@
+// The multi-process shm transport (DPF_NET_BACKEND=shm): phase-protocol
+// contract over the shared-memory rings, FIFO/tag semantics through router
+// processes, overflow behaviour on tiny rings, self-delivery mode
+// (DPF_NET_PROCS=0), recovery from a SIGKILLed router with no message loss,
+// /dev/shm leak-freedom, and the cross-backend acceptance battery: every
+// registered benchmark bit-identical to the local backend at p in
+// {3, 4, 8, 16} under all three DPF_NET modes.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/machine.hpp"
+#include "core/registry.hpp"
+#include "net/net.hpp"
+#include "net/shm_transport.hpp"
+#include "suite/register_all.hpp"
+
+namespace dpf {
+namespace {
+
+// Every /dev/shm entry carrying the transport's name prefix. The arena is
+// shm_unlink()ed before the first fork, so this must be empty even while
+// the backend is live.
+std::vector<std::string> shm_entries() {
+  std::vector<std::string> out;
+  DIR* dir = opendir("/dev/shm");
+  if (dir == nullptr) return out;
+  while (dirent* e = readdir(dir)) {
+    if (std::strstr(e->d_name, "dpf-net") != nullptr) {
+      out.emplace_back(e->d_name);
+    }
+  }
+  closedir(dir);
+  return out;
+}
+
+class ShmTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("DPF_WORKERS", "4", 1);
+    unsetenv("DPF_NET");
+    unsetenv("DPF_NET_PROCS");
+    unsetenv("DPF_NET_SHM_RING");
+    setenv("DPF_NET_BACKEND", "shm", 1);
+    Machine::instance().configure(4);
+    net::transport().reset();
+    CommLog::instance().reset();
+  }
+  void TearDown() override {
+    unsetenv("DPF_NET");
+    unsetenv("DPF_NET_PROCS");
+    unsetenv("DPF_NET_SHM_RING");
+    unsetenv("DPF_NET_BACKEND");
+    // Drop the pod so suites running after this one don't keep idle routers.
+    if (net::ShmTransport::created()) net::ShmTransport::instance().shutdown();
+    Machine::instance().configure(4);
+  }
+
+  // The shm instance, (re)started for the current machine if needed.
+  static net::ShmTransport& shm() {
+    net::Transport& t = net::transport();
+    EXPECT_STREQ("shm", t.name()) << "DPF_NET_BACKEND=shm not selected";
+    return static_cast<net::ShmTransport&>(t);
+  }
+};
+
+TEST_F(ShmTransportTest, SelectsShmBackendAndRuns) {
+  net::ShmTransport& s = shm();
+  EXPECT_TRUE(s.running());
+  EXPECT_EQ(s.endpoints(), 4);
+  EXPECT_GE(s.ring_capacity(), 4096u);
+  EXPECT_EQ(net::Backend::Shm, net::backend());
+}
+
+TEST_F(ShmTransportTest, PostThenFetchAcrossRegions) {
+  Machine& m = Machine::instance();
+  net::ShmTransport& t = shm();
+  const std::uint64_t tag = net::next_tag();
+  const double sent = 42.5;
+  m.spmd([&](int v) {
+    if (v == 0) t.post(0, 1, tag, &sent, sizeof(sent));
+  });
+  EXPECT_EQ(t.pending(), 1u);
+  double got = 0.0;
+  bool ok = false;
+  m.spmd([&](int v) {
+    if (v == 1) ok = t.try_fetch(1, 0, tag, &got, sizeof(got));
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(t.pending(), 0u);
+  const auto stats = t.stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, sizeof(double));
+}
+
+TEST_F(ShmTransportTest, ControlThreadPostIsDeliveredImmediately) {
+  // Outside any SPMD region there is no barrier to drain the rings, so
+  // post() quiesces inline — the transport contract tests' usage pattern.
+  net::ShmTransport& t = shm();
+  const std::uint64_t tag = net::next_tag();
+  const int sent = 1234;
+  t.post(0, 3, tag, &sent, sizeof(sent));
+  EXPECT_EQ(t.probe(3, 0, tag), static_cast<std::ptrdiff_t>(sizeof(int)));
+  int got = 0;
+  EXPECT_TRUE(t.try_fetch(3, 0, tag, &got, sizeof(got)));
+  EXPECT_EQ(got, sent);
+}
+
+TEST_F(ShmTransportTest, TagsKeepMessagesApartAndSameTagIsFifo) {
+  Machine& m = Machine::instance();
+  net::ShmTransport& t = shm();
+  const std::uint64_t ta = net::next_tag();
+  const std::uint64_t tb = net::next_tag();
+  const int a1 = 1, a2 = 2, b1 = 3;
+  m.spmd([&](int v) {
+    if (v == 0) {
+      t.post(0, 1, ta, &a1, sizeof(a1));
+      t.post(0, 1, tb, &b1, sizeof(b1));
+      t.post(0, 1, ta, &a2, sizeof(a2));
+    }
+  });
+  int got_b = 0, got_a1 = 0, got_a2 = 0;
+  m.spmd([&](int v) {
+    if (v == 1) {
+      // Out-of-order by tag; in-order within a tag.
+      EXPECT_TRUE(t.try_fetch(1, 0, tb, &got_b, sizeof(got_b)));
+      EXPECT_TRUE(t.try_fetch(1, 0, ta, &got_a1, sizeof(got_a1)));
+      EXPECT_TRUE(t.try_fetch(1, 0, ta, &got_a2, sizeof(got_a2)));
+    }
+  });
+  EXPECT_EQ(got_b, b1);
+  EXPECT_EQ(got_a1, a1);
+  EXPECT_EQ(got_a2, a2);
+}
+
+TEST_F(ShmTransportTest, TagCollisionsAcrossSourcesStayApart) {
+  // Identical tag from every source to one destination: (src, dst, tag)
+  // mailboxes must not cross-talk even though the routers interleave
+  // deliveries from different rings.
+  Machine& m = Machine::instance();
+  net::ShmTransport& t = shm();
+  const std::uint64_t tag = net::next_tag();
+  m.spmd([&](int v) {
+    if (v != 3) {
+      const double payload = 100.0 + v;
+      t.post(v, 3, tag, &payload, sizeof(payload));
+    }
+  });
+  m.spmd([&](int v) {
+    if (v == 3) {
+      for (int src = 0; src < 3; ++src) {
+        double got = 0.0;
+        EXPECT_TRUE(t.try_fetch(3, src, tag, &got, sizeof(got)));
+        EXPECT_EQ(got, 100.0 + src);
+      }
+    }
+  });
+}
+
+TEST_F(ShmTransportTest, RoutersActuallyDeliver) {
+  net::ShmTransport& t = shm();
+  if (t.procs() == 0) GTEST_SKIP() << "no router pod on this machine";
+  const std::uint64_t base = net::next_tags(64);
+  Machine& m = Machine::instance();
+  m.spmd([&](int v) {
+    for (int i = 0; i < 16; ++i) {
+      const double payload = v * 16.0 + i;
+      t.post(v, (v + 1) % 4, base + static_cast<std::uint64_t>(i), &payload,
+             sizeof(payload));
+    }
+  });
+  EXPECT_GE(t.delivered_messages(), 64u)
+      << "router processes never advanced a delivered cursor";
+  m.spmd([&](int v) {
+    for (int i = 0; i < 16; ++i) {
+      double got = 0.0;
+      const int src = (v + 3) % 4;
+      EXPECT_TRUE(t.try_fetch(v, src, base + static_cast<std::uint64_t>(i),
+                              &got, sizeof(got)));
+      EXPECT_EQ(got, src * 16.0 + i);
+    }
+  });
+}
+
+TEST_F(ShmTransportTest, OversizedPayloadTakesOverflowBitIdentically) {
+  // A payload far beyond the (minimum) ring must degrade to the in-process
+  // overflow mailbox — never block, never corrupt.
+  setenv("DPF_NET_SHM_RING", "4096", 1);
+  net::ShmTransport& t = shm();
+  t.resize(4);  // re-read the ring size
+  ASSERT_TRUE(t.running());
+  EXPECT_EQ(t.ring_capacity(), 4096u);
+
+  std::vector<double> big(64 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<double>(i) * 1.5 - 7.0;
+  }
+  const std::uint64_t tag = net::next_tag();
+  Machine& m = Machine::instance();
+  m.spmd([&](int v) {
+    if (v == 0) t.post(0, 2, tag, big.data(), big.size() * sizeof(double));
+  });
+  EXPECT_GE(t.overflow_posts(), 1u);
+  std::vector<double> got(big.size(), 0.0);
+  m.spmd([&](int v) {
+    if (v == 2) {
+      EXPECT_TRUE(
+          t.try_fetch(2, 0, tag, got.data(), got.size() * sizeof(double)));
+    }
+  });
+  EXPECT_EQ(0, std::memcmp(big.data(), got.data(),
+                           big.size() * sizeof(double)));
+}
+
+TEST_F(ShmTransportTest, RingPressurePreservesPerTagFifo) {
+  // Enough same-tag traffic to wrap and overflow a minimum-size ring; the
+  // ring-before-overflow ordering rule must keep the stream FIFO.
+  setenv("DPF_NET_SHM_RING", "4096", 1);
+  net::ShmTransport& t = shm();
+  t.resize(4);
+  ASSERT_TRUE(t.running());
+
+  constexpr int kMessages = 500;
+  const std::uint64_t tag = net::next_tag();
+  Machine& m = Machine::instance();
+  m.spmd([&](int v) {
+    if (v == 1) {
+      for (int i = 0; i < kMessages; ++i) {
+        const std::uint64_t payload = 0x5a5a0000ull + i;
+        t.post(1, 3, tag, &payload, sizeof(payload));
+      }
+    }
+  });
+  EXPECT_GE(t.overflow_posts(), 1u)
+      << "expected the 4 KiB ring to spill with " << kMessages
+      << " in-flight records";
+  m.spmd([&](int v) {
+    if (v == 3) {
+      for (int i = 0; i < kMessages; ++i) {
+        std::uint64_t got = 0;
+        ASSERT_TRUE(t.try_fetch(3, 1, tag, &got, sizeof(got))) << i;
+        ASSERT_EQ(got, 0x5a5a0000ull + i) << "FIFO broke at message " << i;
+      }
+    }
+  });
+  EXPECT_EQ(t.pending(), 0u);
+}
+
+TEST_F(ShmTransportTest, SelfDeliveryModeRunsWithoutRouters) {
+  setenv("DPF_NET_PROCS", "0", 1);
+  net::ShmTransport& t = shm();
+  t.resize(4);  // re-read DPF_NET_PROCS
+  ASSERT_TRUE(t.running());
+  EXPECT_EQ(t.procs(), 0);
+  EXPECT_TRUE(t.router_pids().empty());
+
+  Machine& m = Machine::instance();
+  const std::uint64_t tag = net::next_tag();
+  const double sent = -3.25;
+  m.spmd([&](int v) {
+    if (v == 2) t.post(2, 0, tag, &sent, sizeof(sent));
+  });
+  double got = 0.0;
+  bool ok = false;
+  m.spmd([&](int v) {
+    if (v == 0) ok = t.try_fetch(0, 2, tag, &got, sizeof(got));
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, sent);
+}
+
+TEST_F(ShmTransportTest, SigkilledRouterIsRespawnedWithNoMessageLoss) {
+  setenv("DPF_NET_PROCS", "2", 1);
+  net::ShmTransport& t = shm();
+  t.resize(4);
+  ASSERT_TRUE(t.running());
+  if (t.procs() == 0) GTEST_SKIP() << "no router pod on this machine";
+  ASSERT_EQ(t.router_pids().size(), 2u);
+  const pid_t victim = t.router_pids()[0];
+  const std::uint64_t before = t.respawns();
+
+  // Post inside a region and murder a router inside the same region, before
+  // the barrier's quiesce can possibly have drained everything.
+  Machine& m = Machine::instance();
+  const std::uint64_t tag = net::next_tag();
+  const double sent[4] = {1.5, 2.5, 3.5, 4.5};
+  m.spmd([&](int v) {
+    t.post(v, (v + 1) % 4, tag, &sent[v], sizeof(double));
+    if (v == 0) kill(victim, SIGKILL);
+  });
+
+  // The barrier quiesce must have detected the death, re-forked over the
+  // same arena and delivered every record posted above.
+  EXPECT_GE(t.respawns(), before + 1);
+  ASSERT_EQ(t.router_pids().size(), 2u);
+  for (pid_t pid : t.router_pids()) {
+    EXPECT_NE(pid, 0) << "respawned pod has a dead slot";
+  }
+
+  m.spmd([&](int v) {
+    double got = 0.0;
+    const int src = (v + 3) % 4;
+    EXPECT_TRUE(t.try_fetch(v, src, tag, &got, sizeof(got))) << "vp " << v;
+    EXPECT_EQ(got, sent[src]) << "vp " << v;
+  });
+
+  // The killed router must be fully reaped — no zombie left behind.
+  errno = 0;
+  const pid_t r = waitpid(victim, nullptr, WNOHANG);
+  EXPECT_TRUE(r == -1 && errno == ECHILD)
+      << "SIGKILLed router was never reaped (waitpid returned " << r << ")";
+
+  // And the replacement pod keeps working.
+  const std::uint64_t tag2 = net::next_tag();
+  const double again = 99.75;
+  m.spmd([&](int v) {
+    if (v == 1) t.post(1, 2, tag2, &again, sizeof(again));
+  });
+  double got2 = 0.0;
+  bool ok2 = false;
+  m.spmd([&](int v) {
+    if (v == 2) ok2 = t.try_fetch(2, 1, tag2, &got2, sizeof(got2));
+  });
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(got2, again);
+}
+
+TEST_F(ShmTransportTest, NoDevShmEntriesWhileRunningOrAfterShutdown) {
+  net::ShmTransport& t = shm();
+  ASSERT_TRUE(t.running());
+  EXPECT_TRUE(shm_entries().empty())
+      << "arena left a /dev/shm entry while live (must be unlinked pre-fork)";
+  t.shutdown();
+  EXPECT_FALSE(t.running());
+  EXPECT_TRUE(shm_entries().empty());
+  // resize() restarts after a shutdown.
+  t.resize(4);
+  EXPECT_TRUE(t.running());
+  EXPECT_TRUE(shm_entries().empty());
+}
+
+TEST_F(ShmTransportTest, ResizeFollowsMachineReconfigure) {
+  EXPECT_EQ(shm().endpoints(), 4);
+  Machine::instance().configure(7);
+  net::Transport& t = net::transport();
+  EXPECT_STREQ("shm", t.name());
+  EXPECT_EQ(t.endpoints(), 7);
+  EXPECT_EQ(t.pending(), 0u) << "resize drops stale messages";
+  Machine::instance().configure(4);
+  EXPECT_EQ(net::transport().endpoints(), 4);
+}
+
+TEST_F(ShmTransportTest, RouterDeliveryTimelinesMergeIntoTrace) {
+  net::ShmTransport& t = shm();
+  if (t.procs() == 0) GTEST_SKIP() << "no router pod on this machine";
+  Machine& m = Machine::instance();
+  const std::uint64_t base = net::next_tags(16);
+  m.spmd([&](int v) {
+    const double payload = 2.0 * v;
+    t.post(v, (v + 1) % 4, base + static_cast<std::uint64_t>(v), &payload,
+           sizeof(payload));
+  });
+  trace::Snapshot snap;
+  net::merge_router_trace(snap);
+  ASSERT_EQ(snap.external.size(), static_cast<std::size_t>(t.procs()));
+  std::size_t total = 0;
+  for (const auto& track : snap.external) {
+    EXPECT_NE(track.name.find("net router"), std::string::npos) << track.name;
+    for (const auto& e : track.events) {
+      EXPECT_EQ(e.kind, trace::EventKind::Deliver);
+      EXPECT_GE(e.t1_ns, e.t0_ns);
+      EXPECT_EQ(e.arg, sizeof(double));
+    }
+    total += track.events.size();
+  }
+  EXPECT_GE(total, 4u) << "router deliveries missing from the event rings";
+  // Drain what the region above posted so TearDown sees an empty transport.
+  m.spmd([&](int v) {
+    double got = 0.0;
+    const int src = (v + 3) % 4;
+    (void)t.try_fetch(v, src, base + static_cast<std::uint64_t>(src), &got,
+                      sizeof(got));
+  });
+}
+
+TEST_F(ShmTransportTest, AlgorithmicCollectivesMatchLocalBackend) {
+  // One direct end-to-end smoke before the registry battery: a transpose
+  // through real message passing, byte-compared across backends.
+  setenv("DPF_NET", "algorithmic", 1);
+  const index_t rows = 43, cols = 17;
+  auto run_once = [&] {
+    auto mat = make_matrix<double>(rows, cols);
+    for (index_t i = 0; i < mat.size(); ++i) {
+      mat[i] = static_cast<double>(i % 101) * 0.75 - 20.0;
+    }
+    auto tr = comm::transpose(mat);
+    std::vector<double> out;
+    for (index_t i = 0; i < tr.size(); ++i) out.push_back(tr[i]);
+    return out;
+  };
+  const std::vector<double> with_shm = run_once();
+  setenv("DPF_NET_BACKEND", "local", 1);
+  const std::vector<double> with_local = run_once();
+  ASSERT_EQ(with_local.size(), with_shm.size());
+  for (std::size_t i = 0; i < with_local.size(); ++i) {
+    ASSERT_EQ(with_local[i], with_shm[i]) << "diverged at " << i;
+  }
+}
+
+// --- cross-backend acceptance battery through the registry -----------------
+
+// Every registered benchmark; the guard test below keeps this in sync.
+const char* const kAllBenchmarks[] = {
+    "gather",      "reduction",   "scatter",     "transpose",
+    "conj-grad",   "fft",         "gauss-jordan", "jacobi",
+    "lu",          "matrix-vector", "pcr",       "qr",
+    "boson",       "diff-1D",     "diff-2D",     "diff-3D",
+    "ellip-2D",    "fem-3D",      "fermion",     "gmo",
+    "ks-spectral", "md",          "mdcell",      "n-body",
+    "pic-gather-scatter", "pic-simple", "qcd-kernel", "qmc",
+    "qptransport", "rp",          "step4",       "wave-1D",
+};
+
+const std::vector<int> kBatteryVps = {3, 4, 8, 16};
+const char* const kBatteryModes[] = {"direct", "algorithmic", "overlap"};
+
+class ShmRegistryEquivalence : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    register_all_benchmarks();
+    setenv("DPF_WORKERS", "4", 1);
+    unsetenv("DPF_NET");
+    unsetenv("DPF_NET_PROCS");
+    unsetenv("DPF_NET_SHM_RING");
+    unsetenv("DPF_NET_BACKEND");
+  }
+  void TearDown() override {
+    unsetenv("DPF_NET");
+    unsetenv("DPF_NET_BACKEND");
+    if (net::ShmTransport::created()) net::ShmTransport::instance().shutdown();
+    Machine::instance().configure(4);
+  }
+};
+
+TEST_F(ShmTransportTest, BenchmarkListCoversRegistry) {
+  register_all_benchmarks();
+  EXPECT_EQ(Registry::instance().size(),
+            sizeof(kAllBenchmarks) / sizeof(kAllBenchmarks[0]))
+      << "a new benchmark must be added to kAllBenchmarks so the "
+         "cross-backend battery covers it";
+  for (const char* name : kAllBenchmarks) {
+    EXPECT_NE(Registry::instance().find(name), nullptr) << name;
+  }
+}
+
+TEST_P(ShmRegistryEquivalence, ChecksBitIdenticalToLocalBackend) {
+  const auto* def = Registry::instance().find(GetParam());
+  ASSERT_NE(def, nullptr) << GetParam();
+  for (int p : kBatteryVps) {
+    for (const char* m : kBatteryModes) {
+      if (std::strcmp(m, "direct") == 0) {
+        unsetenv("DPF_NET");
+      } else {
+        setenv("DPF_NET", m, 1);
+      }
+      setenv("DPF_NET_BACKEND", "local", 1);
+      Machine::instance().configure(p);
+      const auto ref = def->run_with_defaults(RunConfig{}).checks;
+      ASSERT_FALSE(ref.empty()) << GetParam() << " has no checks";
+      setenv("DPF_NET_BACKEND", "shm", 1);
+      const auto got = def->run_with_defaults(RunConfig{}).checks;
+      unsetenv("DPF_NET");
+      unsetenv("DPF_NET_BACKEND");
+      ASSERT_EQ(ref.size(), got.size())
+          << GetParam() << " p=" << p << " mode=" << m;
+      for (const auto& [key, value] : ref) {
+        const auto it = got.find(key);
+        ASSERT_NE(it, got.end()) << GetParam() << " p=" << p << " mode=" << m
+                                 << " lost check " << key;
+        ASSERT_EQ(value, it->second)
+            << GetParam() << " p=" << p << " mode=" << m << " check '" << key
+            << "' not bit-identical between backends";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ShmRegistryEquivalence,
+    ::testing::ValuesIn(std::vector<std::string>(
+        std::begin(kAllBenchmarks), std::end(kAllBenchmarks))),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace dpf
