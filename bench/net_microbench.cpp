@@ -264,7 +264,11 @@ int main(int argc, char** argv) {
                  json_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"machine\": {\"vps\": %d, \"workers\": %d},\n", p,
+  std::fprintf(f,
+               "{\n  \"schema_version\": 2,\n"
+               "  \"calibration_cache_hit\": %s,\n"
+               "  \"machine\": {\"vps\": %d, \"workers\": %d},\n",
+               dpf::net::calibration_from_cache() ? "true" : "false", p,
                m.workers());
   std::fprintf(f, "  \"backends\": {\n");
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -73,9 +73,12 @@ void write_json(const std::string& path, int vps, double peak,
     return;
   }
   std::fprintf(f,
-               "{\n  \"machine\": {\"vps\": %d, \"peak_mflops\": %.1f, "
+               "{\n  \"schema_version\": 2,\n"
+               "  \"calibration_cache_hit\": %s,\n"
+               "  \"machine\": {\"vps\": %d, \"peak_mflops\": %.1f, "
                "\"simd\": %s},\n",
-               vps, peak, dpf::vec::enabled() ? "true" : "false");
+               dpf::net::calibration_from_cache() ? "true" : "false", vps,
+               peak, dpf::vec::enabled() ? "true" : "false");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

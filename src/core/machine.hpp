@@ -106,6 +106,18 @@ class Machine {
   /// Calibrated lazily by a fused multiply-add microkernel on every VP.
   [[nodiscard]] double peak_mflops();
 
+  /// Installs a peak-FLOPs figure measured earlier (the dpf::serve
+  /// calibration cache persists the probe per (vps, workers) so a warm
+  /// daemon never re-runs the microkernel). `v <= 0` clears the
+  /// calibration, forcing peak_mflops() to re-probe — the reuse/reset
+  /// contract for configurations the cache has never seen. The probe's
+  /// result scales with the VP count, so callers must key stored values by
+  /// the configuration they were measured under.
+  void set_peak_mflops(double v) { peak_mflops_ = v > 0.0 ? v : 0.0; }
+
+  /// True once peak_mflops() has been probed or set_peak_mflops() primed.
+  [[nodiscard]] bool peak_calibrated() const { return peak_mflops_ > 0.0; }
+
   /// Default VP count: DPF_VPS environment variable if set, else 4.
   [[nodiscard]] static int default_vps();
 

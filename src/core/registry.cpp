@@ -1,8 +1,36 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dpf {
+namespace {
+
+/// Levenshtein distance with an early-out band: distances above `cap` all
+/// report cap+1, which is enough to rank "did you mean" candidates.
+std::size_t edit_distance(const std::string& a, const std::string& b,
+                          std::size_t cap) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n > m + cap || m > n + cap) return cap + 1;
+  std::vector<std::size_t> prev(m + 1);
+  std::vector<std::size_t> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    std::size_t row_min = cur[0];
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > cap) return cap + 1;
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace
 
 Registry& Registry::instance() {
   static Registry r;
@@ -18,6 +46,29 @@ void Registry::add(BenchmarkDef def) {
 const BenchmarkDef* Registry::find(const std::string& name) const {
   const auto it = defs_.find(name);
   return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Registry::suggest(const std::string& name,
+                                           std::size_t max_results) const {
+  constexpr std::size_t kCap = 2;
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const auto& [candidate, _] : defs_) {
+    std::size_t d = edit_distance(name, candidate, kCap);
+    // A substring hit (fft -> fft, "grad" -> conj-grad) outranks a far
+    // edit but not an exact-ish one.
+    if (d > kCap && !name.empty() &&
+        candidate.find(name) != std::string::npos) {
+      d = kCap + 1;
+    }
+    if (d <= kCap + 1) ranked.emplace_back(d, candidate);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> out;
+  for (const auto& [d, candidate] : ranked) {
+    if (out.size() >= max_results) break;
+    out.push_back(candidate);
+  }
+  return out;
 }
 
 std::vector<const BenchmarkDef*> Registry::by_group(Group g) const {

@@ -145,6 +145,13 @@ class Registry {
   void add(BenchmarkDef def);
 
   [[nodiscard]] const BenchmarkDef* find(const std::string& name) const;
+
+  /// Closest registered names to a misspelled `name` (edit distance <= 2,
+  /// or substring match), best first, at most `max_results`. Drives the
+  /// "did you mean" hints in dpfrun and the daemon's error frames.
+  [[nodiscard]] std::vector<std::string> suggest(
+      const std::string& name, std::size_t max_results = 3) const;
+
   [[nodiscard]] std::vector<const BenchmarkDef*> by_group(Group g) const;
   [[nodiscard]] std::vector<const BenchmarkDef*> all() const;
   [[nodiscard]] std::size_t size() const { return defs_.size(); }

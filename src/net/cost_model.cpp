@@ -207,6 +207,9 @@ void CostModel::calibrate(bool force) {
   }
   params_[b] = p;
   calibrated_[b] = true;
+  // These parameters were just measured live; any earlier cache-served
+  // install no longer describes what predict() uses.
+  set_calibration_from_cache(false);
 }
 
 int CostModel::hops(int a, int b) const {

@@ -77,18 +77,31 @@ int env_procs(int p) {
   if (env == nullptr || *env == '\0') return std::min(2, cap);
   char* end = nullptr;
   const long v = std::strtol(env, &end, 10);
-  if (end != env && *end == '\0' && v >= 0 && v <= 64) {
-    return std::min(static_cast<int>(v), cap);
+  if (end == env || *end != '\0') {
+    // Not a number at all: warn once, run the default.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "dpf: ignoring DPF_NET_PROCS=\"%s\" (expected integer in "
+                   "[0, 64]); using default %d\n",
+                   env, std::min(2, cap));
+    }
+    return std::min(2, cap);
   }
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
-    std::fprintf(stderr,
-                 "dpf: ignoring DPF_NET_PROCS=\"%s\" (expected integer in "
-                 "[0, 64]); using default %d\n",
-                 env, std::min(2, cap));
+  if (v < 0 || v > 64) {
+    // A number, just out of range: honor the direction and clamp to the
+    // nearest bound rather than silently running the default pod size.
+    const int clamped = v < 0 ? 0 : std::min(64, cap);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "dpf: clamping DPF_NET_PROCS=\"%s\" to %d (valid range "
+                   "[0, 64])\n",
+                   env, clamped);
+    }
+    return clamped;
   }
-  return std::min(2, cap);
+  return std::min(static_cast<int>(v), cap);
 }
 
 namespace {

@@ -233,21 +233,21 @@ namespace {
 
 std::atomic<bool> g_created{false};
 
-/// Ring capacity per pair: DPF_NET_SHM_RING bytes (pow2-rounded, clamped to
-/// [4 KiB, 64 MiB]), then halved until the p^2 rings fit the 2 GiB budget.
-/// The arena is sparse tmpfs, so this bounds *virtual* size; only touched
-/// pages cost memory.
-std::uint64_t pick_ring_bytes(int p) {
+std::uint64_t align64(std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; }
+
+}  // namespace
+
+std::uint64_t env_ring_bytes(int p) {
   namespace d = shm_detail;
   std::uint64_t v = d::kDefaultRing;
   const char* env = std::getenv("DPF_NET_SHM_RING");
   if (env != nullptr && *env != '\0') {
     char* end = nullptr;
+    const bool negative = env[0] == '-';  // strtoull would wrap, not reject
     const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= d::kMinRing &&
-        parsed <= d::kMaxRing) {
-      v = parsed;
-    } else {
+    if (end == env || *end != '\0') {
+      // Not a number at all: warn once and run the default — silently
+      // honoring garbage would size rings nobody asked for.
       static std::atomic<bool> warned{false};
       if (!warned.exchange(true, std::memory_order_relaxed)) {
         std::fprintf(stderr,
@@ -257,6 +257,21 @@ std::uint64_t pick_ring_bytes(int p) {
                      static_cast<unsigned long long>(d::kMaxRing),
                      static_cast<unsigned long long>(d::kDefaultRing));
       }
+    } else if (negative || parsed < d::kMinRing || parsed > d::kMaxRing) {
+      // A number, just out of range: the caller's intent (smaller/larger)
+      // is clear, so clamp to the nearest bound instead of ignoring it.
+      v = (negative || parsed < d::kMinRing) ? d::kMinRing : d::kMaxRing;
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "dpf: clamping DPF_NET_SHM_RING=\"%s\" to %llu (valid "
+                     "range [%llu, %llu])\n",
+                     env, static_cast<unsigned long long>(v),
+                     static_cast<unsigned long long>(d::kMinRing),
+                     static_cast<unsigned long long>(d::kMaxRing));
+      }
+    } else {
+      v = parsed;
     }
   }
   std::uint64_t pow2 = d::kMinRing;
@@ -266,10 +281,6 @@ std::uint64_t pick_ring_bytes(int p) {
   while (pow2 > d::kMinRing && pow2 * pairs > d::kRingBudget) pow2 >>= 1;
   return pow2;
 }
-
-std::uint64_t align64(std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; }
-
-}  // namespace
 
 ShmTransport& ShmTransport::instance() {
   // Touch the process runtime first so it outlives the transport: the
@@ -292,7 +303,7 @@ void ShmTransport::resize(int endpoints) {
   shutdown();
   p_ = endpoints;
   procs_ = proc::env_procs(p_);
-  ring_bytes_ = pick_ring_bytes(p_);
+  ring_bytes_ = env_ring_bytes(p_);
   const int slots = std::max(1, procs_);
   const std::uint64_t pairs =
       static_cast<std::uint64_t>(p_) * static_cast<std::uint64_t>(p_);

@@ -61,6 +61,13 @@ namespace shm_detail {
 struct Arena;  // layout lives in shm_transport.cpp
 }
 
+/// Per-pair ring capacity from DPF_NET_SHM_RING, for `p` endpoints:
+/// power-of-two rounded, clamped to [4 KiB, 64 MiB], then halved until the
+/// p^2 rings fit the 2 GiB arena budget. A parsable-but-out-of-range value
+/// warns once on stderr and is clamped to the nearest bound; an unparsable
+/// value warns once and falls back to the 4 MiB default.
+[[nodiscard]] std::uint64_t env_ring_bytes(int p);
+
 class ShmTransport final : public Transport {
  public:
   /// The process-wide instance (constructed stopped; resize() builds the

@@ -1,0 +1,141 @@
+#include "serve/calibration_cache.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/machine.hpp"
+#include "net/net.hpp"
+#include "serve/json.hpp"
+
+namespace dpf::serve {
+namespace {
+
+std::string hostname() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof buf - 1) != 0) return "unknown-host";
+  return buf;
+}
+
+Json params_to_json(const net::CostModel::Params& p, double peak) {
+  Json j(Json::Object{});
+  j.set("alpha", p.alpha)
+      .set("beta", p.beta)
+      .set("gamma", p.gamma)
+      .set("delta", p.delta)
+      .set("radix", p.radix)
+      .set("contention", p.contention)
+      .set("peak_mflops", peak);
+  return j;
+}
+
+}  // namespace
+
+CalibrationCache::CalibrationCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    ::mkdir(dir_.c_str(), 0755);
+    std::lock_guard<std::mutex> lock(mu_);
+    load_locked();
+  }
+}
+
+std::string CalibrationCache::current_config_key() {
+  Machine& m = Machine::instance();
+  return hostname() + "|" + net::backend_name(net::backend()) + "|vps=" +
+         std::to_string(m.vps()) + "|workers=" + std::to_string(m.workers());
+}
+
+bool CalibrationCache::prime() {
+  const std::string key = current_config_key();
+  Entry e;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    e = it->second;
+    ++stats_.hits;
+  }
+  net::CostModel::instance().set_params(e.params);
+  Machine::instance().set_peak_mflops(e.peak_mflops);
+  net::set_calibration_from_cache(true);
+  return true;
+}
+
+void CalibrationCache::capture() {
+  Entry e;
+  e.params = net::CostModel::instance().params();
+  // peak_mflops() is lazily calibrated; reading it here runs the probe if
+  // the executor has not already paid for it.
+  e.peak_mflops = Machine::instance().peak_mflops();
+  const std::string key = current_config_key();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = e;
+  ++stats_.probes;
+  stats_.entries = entries_.size();
+  if (!dir_.empty()) save_locked();
+}
+
+CalibrationCache::Stats CalibrationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+std::size_t CalibrationCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void CalibrationCache::load_locked() {
+  std::ifstream in(dir_ + "/calibration.json");
+  if (!in) return;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const Json doc = Json::parse(buf.str(), &err);
+  if (!err.empty() || !doc["configs"].is_object()) return;
+  for (const auto& [key, j] : doc["configs"].as_object()) {
+    Entry e;
+    e.params.alpha = j["alpha"].as_number();
+    e.params.beta = j["beta"].as_number();
+    e.params.gamma = j["gamma"].as_number();
+    e.params.delta = j["delta"].as_number();
+    e.params.radix = static_cast<int>(j["radix"].as_int(4));
+    e.params.contention = j["contention"].as_number(0.33);
+    e.peak_mflops = j["peak_mflops"].as_number();
+    // Zero or negative constants would make every prediction degenerate;
+    // a corrupt entry is dropped, forcing a clean re-probe.
+    if (e.params.alpha > 0.0 && e.params.beta > 0.0 && e.peak_mflops > 0.0) {
+      entries_[key] = e;
+    }
+  }
+  stats_.entries = entries_.size();
+}
+
+void CalibrationCache::save_locked() {
+  Json::Object configs;
+  for (const auto& [key, e] : entries_) {
+    configs[key] = params_to_json(e.params, e.peak_mflops);
+  }
+  Json doc(Json::Object{});
+  doc.set("schema_version", 2).set("configs", Json(std::move(configs)));
+  const std::string path = dir_ + "/calibration.json";
+  const std::string tmp = path + ".tmp";
+  if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+    const std::string text = doc.dump();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) {
+      std::rename(tmp.c_str(), path.c_str());
+    } else {
+      std::remove(tmp.c_str());
+    }
+  }
+}
+
+}  // namespace dpf::serve

@@ -1,0 +1,33 @@
+#include "serve/client_conn.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+
+namespace dpf::serve {
+
+ClientConn::ClientConn(int fd, std::string name)
+    : fd_(fd), name_(std::move(name)) {}
+
+ClientConn::~ClientConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ClientConn::send(const Json& frame) {
+  if (!alive_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!alive_.load(std::memory_order_relaxed)) return false;
+  if (!write_frame(fd_, frame)) {
+    alive_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ClientConn::shutdown_socket() {
+  alive_.store(false, std::memory_order_relaxed);
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace dpf::serve

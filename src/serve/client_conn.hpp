@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file client_conn.hpp
+/// One connected dpfd client: the socket fd plus a write lock.
+///
+/// The connection is shared between its reader thread (in the server) and
+/// the executor thread streaming job frames back, so writes are serialized
+/// by a mutex — a result frame never interleaves bytes with a queued/pong
+/// frame on the same socket. A failed write marks the connection dead;
+/// subsequent sends become cheap no-ops so a hung-up client cannot stall
+/// the executor (frames for a dead client are simply dropped, the job
+/// still runs to completion and lands in the result store).
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace dpf::serve {
+
+class ClientConn {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  ClientConn(int fd, std::string name);
+  ~ClientConn();
+
+  ClientConn(const ClientConn&) = delete;
+  ClientConn& operator=(const ClientConn&) = delete;
+
+  /// Writes one frame (thread-safe). False once the peer is gone.
+  bool send(const Json& frame);
+
+  /// Half-closes the socket, waking a reader blocked in read_frame().
+  /// Used by graceful drain to unpark idle connections.
+  void shutdown_socket();
+
+  [[nodiscard]] bool alive() const {
+    return alive_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string name_;
+  std::mutex write_mu_;
+  std::atomic<bool> alive_{true};
+};
+
+}  // namespace dpf::serve

@@ -1,0 +1,87 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+namespace dpf::serve {
+
+JobQueue::JobQueue(std::size_t depth, std::size_t per_client)
+    : depth_(std::max<std::size_t>(1, depth)),
+      per_client_(std::max<std::size_t>(1, std::min(per_client, depth_))) {}
+
+JobQueue::Admit JobQueue::push(const std::shared_ptr<Job>& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return Admit::Draining;
+  if (total_ >= depth_) return Admit::QueueFull;
+  auto& q = queues_[job->client];
+  if (q.size() >= per_client_) return Admit::ClientQuota;
+  if (std::find(rotation_.begin(), rotation_.end(), job->client) ==
+      rotation_.end()) {
+    rotation_.push_back(job->client);
+  }
+  job->id = next_id_++;
+  q.push_back(job);
+  ++total_;
+  cv_.notify_one();
+  return Admit::Ok;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return total_ > 0 || draining_; });
+  if (total_ == 0) return nullptr;  // draining and empty
+  // Round-robin: serve the first non-empty client at or after the cursor.
+  for (std::size_t step = 0; step < rotation_.size(); ++step) {
+    const std::size_t i = (next_ + step) % rotation_.size();
+    auto& q = queues_[rotation_[i]];
+    if (q.empty()) continue;
+    auto job = q.front();
+    q.pop_front();
+    --total_;
+    next_ = (i + 1) % rotation_.size();
+    return job;
+  }
+  return nullptr;  // unreachable: total_ > 0 implies a non-empty queue
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [client, q] : queues_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if ((*it)->id == id) {
+        (*it)->cancelled.store(true, std::memory_order_relaxed);
+        q.erase(it);
+        --total_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void JobQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+const char* JobQueue::reason_string(Admit a) {
+  switch (a) {
+    case Admit::Ok: return "ok";
+    case Admit::QueueFull: return "queue full";
+    case Admit::ClientQuota: return "client quota exceeded";
+    case Admit::Draining: return "daemon draining";
+  }
+  return "?";
+}
+
+}  // namespace dpf::serve

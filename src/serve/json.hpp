@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value for the dpf::serve wire protocol and cache files.
+///
+/// The daemon's length-prefixed protocol, the content-addressed result
+/// store and the calibration cache all speak small JSON documents; this is
+/// the self-contained value type they share (no external dependency — the
+/// container bakes in no JSON library). Two properties matter here beyond
+/// plain parsing:
+///
+///   * Canonical serialization. Objects are backed by std::map, so dump()
+///     emits keys in sorted order with no insignificant whitespace. The
+///     result store hashes dump() output to form content addresses, and
+///     two semantically equal documents must hash identically.
+///
+///   * Bit-exact doubles. Numbers round-trip through "%.17g" (shortest
+///     representation that reconstructs the exact double), so benchmark
+///     check values survive a store/load cycle bitwise. Callers that need
+///     guaranteed bit transport across machines additionally carry the
+///     raw IEEE-754 pattern as a hex string (see result_store.hpp).
+///
+/// The parser accepts strict JSON (RFC 8259): null/true/false, numbers,
+/// strings with \uXXXX escapes (BMP only; surrogate pairs are folded),
+/// arrays and objects. Depth is capped so a hostile client cannot stack-
+/// overflow the daemon.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpf::serve {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::Bool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::Number), num_(d) {}  // NOLINT
+  Json(int v) : type_(Type::Number), num_(v) {}  // NOLINT
+  Json(long long v)  // NOLINT(google-explicit-constructor)
+      : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(std::string s)  // NOLINT(google-explicit-constructor)
+      : type_(Type::String), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}  // NOLINT
+  Json(Array a)  // NOLINT(google-explicit-constructor)
+      : type_(Type::Array), arr_(std::move(a)) {}
+  Json(Object o)  // NOLINT(google-explicit-constructor)
+      : type_(Type::Object), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] long long as_int(long long fallback = 0) const {
+    return is_number() ? static_cast<long long>(num_) : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    static const Array kEmpty;
+    return is_array() ? arr_ : kEmpty;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    static const Object kEmpty;
+    return is_object() ? obj_ : kEmpty;
+  }
+
+  /// Object member lookup; a missing key (or a non-object) returns a
+  /// shared null value, so chained lookups never throw.
+  [[nodiscard]] const Json& operator[](const std::string& key) const {
+    static const Json kNull;
+    if (!is_object()) return kNull;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? kNull : it->second;
+  }
+
+  /// Mutable object member access: converts a Null value into an Object.
+  Json& set(const std::string& key, Json value) {
+    if (!is_object()) {
+      type_ = Type::Object;
+      obj_.clear();
+    }
+    obj_[key] = std::move(value);
+    return *this;
+  }
+
+  /// Appends to an array; converts a Null value into an Array.
+  Json& push_back(Json value) {
+    if (!is_array()) {
+      type_ = Type::Array;
+      arr_.clear();
+    }
+    arr_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return is_object() && obj_.find(key) != obj_.end();
+  }
+
+  /// Canonical serialization: sorted object keys (std::map order), no
+  /// insignificant whitespace, "%.17g" numbers. Hash this for content
+  /// addressing.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse. On failure returns a Null value and, when `err` is
+  /// non-null, a one-line description with the byte offset.
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  std::string* err = nullptr);
+
+  friend bool operator==(const Json& a, const Json& b) {
+    if (a.type_ != b.type_) return false;
+    switch (a.type_) {
+      case Type::Null: return true;
+      case Type::Bool: return a.bool_ == b.bool_;
+      case Type::Number: return a.num_ == b.num_;
+      case Type::String: return a.str_ == b.str_;
+      case Type::Array: return a.arr_ == b.arr_;
+      case Type::Object: return a.obj_ == b.obj_;
+    }
+    return false;
+  }
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// FNV-1a over a byte string — the store's content-address hash and the
+/// result checksum primitive. 64-bit offset-basis/prime constants.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes,
+                                            std::uint64_t seed =
+                                                1469598103934665603ull) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// 16-digit lowercase hex spelling of a 64-bit hash (content addresses,
+/// checksums, bit-exact double transport).
+[[nodiscard]] std::string hex64(std::uint64_t v);
+
+/// Parses a hex64() string (optionally 0x-prefixed); false on malformed
+/// input.
+[[nodiscard]] bool parse_hex64(std::string_view s, std::uint64_t* out);
+
+/// Bit-exact double <-> hex transport: the IEEE-754 pattern as hex64.
+[[nodiscard]] std::string double_to_hex(double d);
+[[nodiscard]] bool double_from_hex(std::string_view s, double* out);
+
+}  // namespace dpf::serve

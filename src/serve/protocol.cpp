@@ -1,0 +1,161 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpf::serve {
+namespace {
+
+void set_err(std::string* err, const char* what) {
+  if (err != nullptr) {
+    *err = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+/// Full write with EINTR retry; MSG_NOSIGNAL keeps a hung-up peer an error
+/// return instead of a process-killing SIGPIPE.
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Full read with EINTR retry; false on EOF or error.
+bool read_all(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // peer hung up
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const Json& msg, std::string* err) {
+  const std::string payload = msg.dump();
+  if (payload.size() > kMaxFrameBytes) {
+    if (err != nullptr) *err = "frame exceeds 64 MiB cap";
+    return false;
+  }
+  unsigned char hdr[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  hdr[0] = static_cast<unsigned char>(n & 0xFF);
+  hdr[1] = static_cast<unsigned char>((n >> 8) & 0xFF);
+  hdr[2] = static_cast<unsigned char>((n >> 16) & 0xFF);
+  hdr[3] = static_cast<unsigned char>((n >> 24) & 0xFF);
+  if (!write_all(fd, hdr, sizeof hdr) ||
+      !write_all(fd, payload.data(), payload.size())) {
+    set_err(err, "write");
+    return false;
+  }
+  return true;
+}
+
+bool read_frame(int fd, Json* msg, std::string* err) {
+  *msg = Json();
+  unsigned char hdr[4];
+  if (!read_all(fd, hdr, sizeof hdr)) {
+    set_err(err, "read header");
+    return false;
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(hdr[0]) |
+                          (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                          (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                          (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (n > kMaxFrameBytes) {
+    if (err != nullptr) *err = "frame length exceeds 64 MiB cap";
+    return false;
+  }
+  std::string payload(n, '\0');
+  if (n > 0 && !read_all(fd, payload.data(), n)) {
+    set_err(err, "read payload");
+    return false;
+  }
+  std::string perr;
+  *msg = Json::parse(payload, &perr);
+  if (!perr.empty()) {
+    if (err != nullptr) *err = "bad frame JSON: " + perr;
+    return false;
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path, int backlog, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  // A stale socket file from a dead daemon would make bind() fail; only an
+  // actual listener holds the address, so unlink-then-bind is the idiom.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    set_err(err, "listen");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string default_socket_path() {
+  if (const char* env = std::getenv("DPFD_SOCKET")) {
+    if (*env != '\0') return env;
+  }
+  return "/tmp/dpfd." + std::to_string(::getuid()) + ".sock";
+}
+
+}  // namespace dpf::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The dpfd wire protocol: length-prefixed JSON frames over a Unix-domain
+/// stream socket.
+///
+/// Every message is one frame:
+///
+///   [u32 little-endian payload length][payload: UTF-8 JSON text]
+///
+/// Frames are capped at 64 MiB — far above any benchmark result, and small
+/// enough that a corrupted length prefix cannot make the daemon allocate
+/// unboundedly. Reads and writes retry on EINTR and handle short transfers;
+/// writers ignore SIGPIPE (send with MSG_NOSIGNAL) so a client that hangs
+/// up mid-stream surfaces as an error return, never a signal.
+///
+/// Client -> server ops (field "op"):
+///   submit    run one benchmark or a suite list; streamed replies
+///   cancel    cancel a queued job by id
+///   stats     daemon counters (queue, result store, calibration cache)
+///   ping      liveness probe
+///   drain     begin graceful drain (finish queued work, then exit)
+///
+/// Server -> client frames (field "type"):
+///   queued | started | progress | trace | result | error | rejected |
+///   cancelled | pong | stats | draining
+///
+/// See DESIGN.md §4j for the full field-by-field schema.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace dpf::serve {
+
+/// Protocol revision carried in every hello/result frame; bump on
+/// incompatible frame-schema changes.
+inline constexpr int kProtocolVersion = 1;
+
+/// Frame size cap (length prefix above this is treated as corruption).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame; false on any socket error (including a peer hangup).
+[[nodiscard]] bool write_frame(int fd, const Json& msg,
+                               std::string* err = nullptr);
+
+/// Reads one frame (blocking). False on EOF, error, or an over-cap length
+/// prefix; `*msg` is Null in that case.
+[[nodiscard]] bool read_frame(int fd, Json* msg, std::string* err = nullptr);
+
+/// Creates, binds and listens a Unix-domain stream socket at `path`
+/// (unlinking any stale socket first). Returns the listening fd or -1.
+[[nodiscard]] int listen_unix(const std::string& path, int backlog,
+                              std::string* err = nullptr);
+
+/// Connects to the daemon socket at `path`. Returns the fd or -1.
+[[nodiscard]] int connect_unix(const std::string& path,
+                               std::string* err = nullptr);
+
+/// Default daemon socket path: $DPFD_SOCKET, else /tmp/dpfd.<uid>.sock.
+[[nodiscard]] std::string default_socket_path();
+
+}  // namespace dpf::serve

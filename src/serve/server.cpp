@@ -1,0 +1,252 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "serve/protocol.hpp"
+
+namespace dpf::serve {
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The result store lives under <cache-dir>/results; the calibration file
+/// sits at the cache-dir root. The parent must exist before ResultStore's
+/// own mkdir of the subdirectory can succeed.
+std::string results_dir(const std::string& cache_dir) {
+  if (cache_dir.empty()) return {};
+  ::mkdir(cache_dir.c_str(), 0755);
+  return cache_dir + "/results";
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      socket_path_(options_.socket_path.empty() ? default_socket_path()
+                                                : options_.socket_path),
+      store_(results_dir(options_.cache_dir)),
+      calibration_(options_.cache_dir),
+      queue_(options_.queue_depth, options_.per_client),
+      executor_(queue_, store_, calibration_) {}
+
+Server::~Server() {
+  if (started_) drain_and_stop();
+}
+
+bool Server::start(std::string* err) {
+  listen_fd_ = listen_unix(socket_path_, 64, err);
+  if (listen_fd_ < 0) return false;
+  started_ = true;
+  started_monotonic_ = monotonic_seconds();
+  executor_.start();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::accept_loop() {
+  std::uint64_t counter = 0;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (drain) or hard error
+    }
+    auto conn = std::make_shared<ClientConn>(
+        fd, "conn-" + std::to_string(++counter));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+}
+
+void Server::serve_connection(const std::shared_ptr<ClientConn>& conn) {
+  Json msg;
+  while (read_frame(conn->fd(), &msg)) {
+    handle_message(conn, msg);
+  }
+}
+
+void Server::handle_message(const std::shared_ptr<ClientConn>& conn,
+                            const Json& msg) {
+  const std::string& op = msg["op"].as_string();
+  if (op == "submit") {
+    handle_submit(conn, msg);
+    return;
+  }
+  if (op == "ping") {
+    Json pong(Json::Object{});
+    pong.set("type", "pong")
+        .set("protocol", kProtocolVersion)
+        .set("engine", engine_version())
+        .set("draining", queue_.draining());
+    (void)conn->send(pong);
+    return;
+  }
+  if (op == "stats") {
+    (void)conn->send(stats_json());
+    return;
+  }
+  if (op == "cancel") {
+    const auto id = static_cast<std::uint64_t>(msg["job"].as_int());
+    Json r(Json::Object{});
+    r.set("type", "cancelled")
+        .set("job", static_cast<long long>(id))
+        .set("ok", queue_.cancel(id));
+    (void)conn->send(r);
+    return;
+  }
+  if (op == "drain") {
+    Json r(Json::Object{});
+    r.set("type", "draining")
+        .set("queued", static_cast<long long>(queue_.size()));
+    (void)conn->send(r);
+    request_drain();
+    return;
+  }
+  Json e(Json::Object{});
+  e.set("type", "error").set("reason", "unknown op '" + op + "'");
+  (void)conn->send(e);
+}
+
+void Server::handle_submit(const std::shared_ptr<ClientConn>& conn,
+                           const Json& msg) {
+  auto job = std::make_shared<Job>();
+  job->client =
+      msg["client"].is_string() && !msg["client"].as_string().empty()
+          ? msg["client"].as_string()
+          : conn->name();
+  if (msg["benchmark"].is_string()) {
+    job->benchmarks.push_back(msg["benchmark"].as_string());
+  }
+  for (const Json& b : msg["benchmarks"].as_array()) {
+    if (b.is_string()) job->benchmarks.push_back(b.as_string());
+  }
+  if (job->benchmarks.empty()) {
+    Json r(Json::Object{});
+    r.set("type", "rejected").set("reason", "no benchmark named");
+    (void)conn->send(r);
+    return;
+  }
+  job->version = msg["version"].is_string() ? msg["version"].as_string()
+                                            : std::string("basic");
+  job->vps = static_cast<int>(msg["vps"].as_int(0));
+  for (const auto& [k, v] : msg["params"].as_object()) {
+    job->params[k] = v.as_int();
+  }
+  for (const auto& [k, v] : msg["knobs"].as_object()) {
+    if (v.is_string()) job->knobs[k] = v.as_string();
+  }
+  job->no_cache = msg["no_cache"].as_bool(false);
+  job->trace_summary = msg["trace"].as_bool(false);
+  job->timeout_seconds = msg["timeout_seconds"].as_number(0.0);
+  job->submitted_monotonic = monotonic_seconds();
+  job->reply = conn;
+
+  const JobQueue::Admit a = queue_.push(job);
+  if (a != JobQueue::Admit::Ok) {
+    Json r(Json::Object{});
+    r.set("type", "rejected")
+        .set("reason", JobQueue::reason_string(a))
+        .set("retryable", a != JobQueue::Admit::Draining);
+    (void)conn->send(r);
+    return;
+  }
+  Json r(Json::Object{});
+  r.set("type", "queued")
+      .set("job", static_cast<long long>(job->id))
+      .set("queued", static_cast<long long>(queue_.size()));
+  (void)conn->send(r);
+}
+
+Json Server::stats_json() const {
+  const Executor::Stats ex = executor_.stats();
+  const ResultStore::Stats rs = store_.stats();
+  const CalibrationCache::Stats cs = calibration_.stats();
+  const auto u64 = [](std::uint64_t v) {
+    return Json(static_cast<long long>(v));
+  };
+  Json queue(Json::Object{});
+  queue.set("depth", u64(queue_.size()))
+      .set("limit", u64(queue_.depth_limit()))
+      .set("draining", queue_.draining());
+  Json exec(Json::Object{});
+  exec.set("jobs", u64(ex.jobs))
+      .set("benchmarks", u64(ex.benchmarks))
+      .set("cache_hits", u64(ex.cache_hits))
+      .set("cold_runs", u64(ex.cold_runs))
+      .set("errors", u64(ex.errors))
+      .set("cancelled", u64(ex.cancelled))
+      .set("timeouts", u64(ex.timeouts))
+      .set("reconfigures", u64(ex.reconfigures))
+      .set("calibrations", u64(ex.calibrations));
+  Json store(Json::Object{});
+  store.set("hits", u64(rs.hits))
+      .set("misses", u64(rs.misses))
+      .set("disk_loads", u64(rs.disk_loads))
+      .set("entries", u64(rs.entries));
+  Json calib(Json::Object{});
+  calib.set("hits", u64(cs.hits))
+      .set("probes", u64(cs.probes))
+      .set("entries", u64(cs.entries));
+  Json j(Json::Object{});
+  j.set("type", "stats")
+      .set("protocol", kProtocolVersion)
+      .set("engine", engine_version())
+      .set("uptime_s", monotonic_seconds() - started_monotonic_)
+      .set("queue", std::move(queue))
+      .set("executor", std::move(exec))
+      .set("result_store", std::move(store))
+      .set("calibration", std::move(calib));
+  return j;
+}
+
+void Server::request_drain() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drain_requested_ = true;
+  drain_cv_.notify_all();
+}
+
+void Server::wait_drain_requested() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return drain_requested_; });
+}
+
+void Server::drain_and_stop() {
+  if (stopping_.exchange(true)) return;  // idempotent
+  // 1. No new jobs; the executor keeps popping until the queue is empty.
+  queue_.drain();
+  // 2. No new connections: shutting down the listener wakes accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 3. Every admitted job runs to completion and streams its frames.
+  executor_.join();
+  // 4. Unpark the readers (their clients have all their frames by now).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : conns_) conn->shutdown_socket();
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    readers.swap(conn_threads_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+  request_drain();  // release anyone parked in wait_drain_requested()
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  stopped_ = true;
+}
+
+}  // namespace dpf::serve

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file server.hpp
+/// The dpfd daemon core: Unix-socket accept loop, per-connection reader
+/// threads, op dispatch, and graceful drain.
+///
+/// Thread layout:
+///
+///   accept thread   blocks in accept(); spawns one reader per connection
+///   reader threads  parse frames, enqueue jobs / answer control ops
+///   executor thread owns the Machine; streams job frames back (executor.hpp)
+///
+/// A submit is answered immediately with a queued frame (or rejected with
+/// the admission reason) and the job's result/progress/error frames arrive
+/// asynchronously on the same connection — the reader and the executor
+/// share the ClientConn, whose internal write lock keeps frames whole.
+///
+/// Graceful drain (SIGTERM in dpfd, or the drain op): stop admitting, stop
+/// accepting, let the executor finish every queued job, then close the
+/// remaining connections and join all threads. Clients with queued work
+/// get their results; clients that try to submit during the drain get a
+/// rejected frame with reason "daemon draining".
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/calibration_cache.hpp"
+#include "serve/client_conn.hpp"
+#include "serve/executor.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/json.hpp"
+#include "serve/result_store.hpp"
+
+namespace dpf::serve {
+
+struct ServerOptions {
+  std::string socket_path;        ///< empty = default_socket_path()
+  std::string cache_dir;          ///< empty = in-memory stores only
+  std::size_t queue_depth = 64;   ///< global queued-job bound
+  std::size_t per_client = 16;    ///< per-client share of the queue
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  /// Binds the socket and spawns the accept + executor threads. False
+  /// (with *err) if the socket cannot be created.
+  [[nodiscard]] bool start(std::string* err = nullptr);
+
+  /// Asks for a graceful drain without blocking (safe from a reader
+  /// thread or a signal-watcher thread). wait_drain_requested() wakes.
+  void request_drain();
+
+  /// Blocks until request_drain() is called (dpfd's main sits here).
+  void wait_drain_requested();
+
+  /// Performs the graceful drain: stop admission and accepting, run every
+  /// queued job to completion, close connections, join all threads.
+  /// Idempotent; must NOT be called from a reader thread (it joins them).
+  void drain_and_stop();
+
+  [[nodiscard]] bool draining() const { return queue_.draining(); }
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+  [[nodiscard]] Json stats_json() const;
+
+  [[nodiscard]] JobQueue& queue() { return queue_; }
+  [[nodiscard]] ResultStore& store() { return store_; }
+  [[nodiscard]] CalibrationCache& calibration() { return calibration_; }
+  [[nodiscard]] Executor& executor() { return executor_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<ClientConn>& conn);
+  void handle_message(const std::shared_ptr<ClientConn>& conn,
+                      const Json& msg);
+  void handle_submit(const std::shared_ptr<ClientConn>& conn,
+                     const Json& msg);
+
+  ServerOptions options_;
+  std::string socket_path_;
+  ResultStore store_;
+  CalibrationCache calibration_;
+  JobQueue queue_;
+  Executor executor_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  double started_monotonic_ = 0.0;
+
+  std::mutex conn_mu_;
+  std::vector<std::shared_ptr<ClientConn>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drain_requested_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace dpf::serve

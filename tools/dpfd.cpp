@@ -1,0 +1,113 @@
+/// \file dpfd.cpp
+/// The DPF benchmark daemon: a long-running process serving benchmark and
+/// suite jobs over a Unix-domain socket so repeated invocations share one
+/// warm Machine, one calibration pass per configuration, and a
+/// content-addressed result store.
+///
+///   dpfd [--socket PATH] [--cache-dir DIR] [--queue-depth N]
+///        [--per-client N]
+///
+/// --socket       listen path (default $DPFD_SOCKET, else
+///                /tmp/dpfd.<uid>.sock)
+/// --cache-dir    persists calibration.json and results/<address>.json
+///                across restarts (default: in-memory only)
+/// --queue-depth  bound on queued jobs before submits are rejected
+/// --per-client   one client's share of the queue (fairness quota)
+///
+/// Submit work with `dpfrun --daemon run <benchmark> ...`; inspect with
+/// `dpfrun --daemon stats`. SIGTERM/SIGINT trigger a graceful drain: no
+/// new jobs are admitted, every queued job runs to completion and streams
+/// its frames, then the daemon exits 0.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "suite/register_all.hpp"
+
+int main(int argc, char** argv) {
+  dpf::serve::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (a.compare(0, n, flag) == 0 && a.size() > n && a[n] == '=') {
+        return a.c_str() + n + 1;
+      }
+      if (a == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--socket")) {
+      opt.socket_path = v;
+    } else if (const char* v = value("--cache-dir")) {
+      opt.cache_dir = v;
+    } else if (const char* v = value("--queue-depth")) {
+      opt.queue_depth = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value("--per-client")) {
+      opt.per_client = static_cast<std::size_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr,
+                   "usage: dpfd [--socket PATH] [--cache-dir DIR] "
+                   "[--queue-depth N] [--per-client N]\n");
+      return 2;
+    }
+  }
+
+  dpf::register_all_benchmarks();
+
+  // Route SIGTERM/SIGINT through a dedicated sigwait thread: every other
+  // thread (machine workers, accept, readers, executor) inherits the
+  // blocked mask, so the signal is always delivered to the watcher, which
+  // turns it into a graceful drain request.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  dpf::serve::Server server(opt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "dpfd: cannot listen: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("dpfd: listening on %s (cache %s, queue depth %zu, "
+              "per-client %zu)\n",
+              server.socket_path().c_str(),
+              opt.cache_dir.empty() ? "in-memory" : opt.cache_dir.c_str(),
+              opt.queue_depth, opt.per_client);
+  std::fflush(stdout);
+
+  std::thread watcher([&set, &server] {
+    int sig = 0;
+    if (sigwait(&set, &sig) == 0) server.request_drain();
+  });
+
+  server.wait_drain_requested();
+  std::printf("dpfd: draining (%zu job(s) queued)\n", server.queue().size());
+  std::fflush(stdout);
+  server.drain_and_stop();
+
+  // The watcher may still sit in sigwait if the drain came from a client
+  // op rather than a signal; poke it loose with the signal it waits for.
+  pthread_kill(watcher.native_handle(), SIGTERM);
+  watcher.join();
+
+  const auto ex = server.executor().stats();
+  const auto rs = server.store().stats();
+  const auto cs = server.calibration().stats();
+  std::printf("dpfd: drained: %llu job(s), %llu benchmark run(s) "
+              "(%llu cache hit(s), %llu cold), %llu calibration(s)\n",
+              static_cast<unsigned long long>(ex.jobs),
+              static_cast<unsigned long long>(ex.benchmarks),
+              static_cast<unsigned long long>(rs.hits),
+              static_cast<unsigned long long>(ex.cold_runs),
+              static_cast<unsigned long long>(cs.probes));
+  return 0;
+}

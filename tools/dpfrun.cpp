@@ -7,7 +7,23 @@
 ///   dpfrun run <benchmark> [--version=basic|optimized|library|cmssl|cdpeac]
 ///                          [--vps=N] [--set key=value ...]
 ///                          [--trace FILE.json|FILE.csv]
-///                          [--report comm|trace]
+///                          [--report comm|trace] [--checks-hex]
+///   dpfrun --daemon[=SOCKET] run <benchmark> [run options]
+///                                [--no-cache] [--timeout=SECONDS]
+///   dpfrun --daemon[=SOCKET] ping | stats | drain
+///
+/// `--daemon` routes the command to a running dpfd (tools/dpfd.cpp) over
+/// its Unix socket instead of executing in-process: the submit carries the
+/// caller's DPF_NET / DPF_NET_BACKEND / DPF_SIMD / ... environment knobs,
+/// the daemon runs the job on its warm machine (or serves it straight from
+/// the content-addressed result store) and streams the frames back. Exit
+/// code 4 means the daemon was unreachable. `--checks-hex` appends each
+/// check value's raw IEEE-754 bit pattern to the output — the bit-identity
+/// comparison surface used to prove daemon-served results match one-shot
+/// runs exactly.
+///
+/// An unknown benchmark name exits with code 3 and a "did you mean"
+/// suggestion list (distinct from 2, the usage-error exit).
 ///
 /// `list --long` adds each benchmark's category (comm/la/app), problem-size
 /// knobs and the default DPF_VPS. `--report comm` calibrates the fat-tree
@@ -34,6 +50,8 @@
 ///   DPF_NET=overlap dpfrun run fem-3D --vps=16 --report comm
 ///   DPF_NET=algorithmic DPF_NET_BACKEND=shm dpfrun run fft --report comm
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +64,8 @@
 #include "net/net.hpp"
 #include "net/proc.hpp"
 #include "net/shm_transport.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
 #include "suite/register_all.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/summary.hpp"
@@ -106,13 +126,32 @@ int cmd_list(bool long_mode) {
   return 0;
 }
 
-int cmd_info(const std::string& name) {
-  const auto* def = Registry::instance().find(name);
-  if (def == nullptr) {
+/// Exit code for a benchmark name the registry does not know — distinct
+/// from 2 (usage error) so scripts can tell a typo from a bad flag.
+constexpr int kExitUnknownBenchmark = 3;
+
+int unknown_benchmark(const std::string& name) {
+  const auto suggestions = Registry::instance().suggest(name);
+  std::string hint;
+  for (const auto& s : suggestions) {
+    hint += hint.empty() ? "" : ", ";
+    hint += s;
+  }
+  if (hint.empty()) {
     std::fprintf(stderr, "unknown benchmark '%s' (try: dpfrun list)\n",
                  name.c_str());
-    return 2;
+  } else {
+    std::fprintf(stderr,
+                 "unknown benchmark '%s' (did you mean: %s?) "
+                 "(try: dpfrun list)\n",
+                 name.c_str(), hint.c_str());
   }
+  return kExitUnknownBenchmark;
+}
+
+int cmd_info(const std::string& name) {
+  const auto* def = Registry::instance().find(name);
+  if (def == nullptr) return unknown_benchmark(name);
   std::printf("%s  [%s]\n", def->name.c_str(),
               std::string(to_string(def->group)).c_str());
   std::printf("  layouts      : ");
@@ -152,18 +191,17 @@ bool parse_version(const std::string& s, Version& out) {
 
 int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   const auto* def = Registry::instance().find(name);
-  if (def == nullptr) {
-    std::fprintf(stderr, "unknown benchmark '%s' (try: dpfrun list)\n",
-                 name.c_str());
-    return 2;
-  }
+  if (def == nullptr) return unknown_benchmark(name);
   RunConfig cfg;
   std::string trace_path;
   bool report_comm = false;
   bool report_trace = false;
+  bool checks_hex = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a.rfind("--trace=", 0) == 0) {
+    if (a == "--checks-hex") {
+      checks_hex = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
     } else if (a == "--trace" && i + 1 < args.size()) {
       trace_path = args[++i];
@@ -259,6 +297,15 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   std::printf("\nchecks:\n");
   for (const auto& [k, v] : r.checks) {
     std::printf("  %-22s %.8g\n", k.c_str(), v);
+  }
+  if (checks_hex) {
+    // Raw IEEE-754 bit patterns: the exact comparison surface for the
+    // daemon-vs-standalone bit-identity tests.
+    std::printf("\nchecks-hex:\n");
+    for (const auto& [k, v] : r.checks) {
+      std::printf("  %-22s %s\n", k.c_str(),
+                  serve::double_to_hex(v).c_str());
+    }
   }
   if (report_comm) {
     struct Agg {
@@ -361,6 +408,166 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   return (it != r.checks.end() && it->second > 1e-3) ? 1 : 0;
 }
 
+/// Exit code when the daemon socket is unreachable (distinct from run
+/// failures so wrappers can fall back to a local run).
+constexpr int kExitDaemonUnreachable = 4;
+
+void print_daemon_result(const serve::Json& f, bool checks_hex) {
+  const serve::Json& rec = f["record"];
+  const serve::Json& m = rec["metrics"];
+  std::printf("%s%s\n", f["benchmark"].as_string().c_str(),
+              f["cache_hit"].as_bool() ? "  [result-store hit]" : "");
+  std::printf("  busy time              : %.6f s\n",
+              m["busy_seconds"].as_number());
+  std::printf("  elapsed time           : %.6f s\n",
+              m["elapsed_seconds"].as_number());
+  std::printf("  busy rate              : %.2f MFLOPS\n",
+              m["busy_mflops"].as_number());
+  std::printf("  elapsed rate           : %.2f MFLOPS\n",
+              m["elapsed_mflops"].as_number());
+  std::printf("  served in              : %.6f s (cold run: %.6f s)\n",
+              f["serve_elapsed_s"].as_number(),
+              rec["cold_elapsed_s"].as_number());
+  std::printf("  address                : %s  checksum %s\n",
+              f["address"].as_string().c_str(),
+              f["checksum"].as_string().c_str());
+  if (f["calibration_cache_hit"].as_bool()) {
+    std::printf("  calibration            : from cache\n");
+  }
+  std::printf("checks:\n");
+  for (const auto& [k, v] : rec["checks"].as_object()) {
+    std::printf("  %-22s %.8g\n", k.c_str(), v["value"].as_number());
+  }
+  if (checks_hex) {
+    std::printf("checks-hex:\n");
+    for (const auto& [k, v] : rec["checks"].as_object()) {
+      std::printf("  %-22s %s\n", k.c_str(), v["bits"].as_string().c_str());
+    }
+  }
+}
+
+int cmd_daemon(const std::string& socket,
+               const std::vector<std::string>& args) {
+  serve::DaemonClient client;
+  std::string err;
+  if (!client.connect(socket, &err)) {
+    std::fprintf(stderr, "dpfrun: cannot reach dpfd: %s\n", err.c_str());
+    return kExitDaemonUnreachable;
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: dpfrun --daemon[=SOCKET] run <name> [options] | "
+                 "ping | stats | drain\n");
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "ping" || cmd == "stats" || cmd == "drain") {
+    serve::Json req(serve::Json::Object{});
+    req.set("op", cmd);
+    const serve::Json reply = client.request(req, &err);
+    if (reply.is_null()) {
+      std::fprintf(stderr, "dpfrun: daemon request failed: %s\n",
+                   err.c_str());
+      return kExitDaemonUnreachable;
+    }
+    std::printf("%s\n", reply.dump().c_str());
+    return 0;
+  }
+  if (cmd != "run" || args.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: dpfrun --daemon[=SOCKET] run <name> [options] | "
+                 "ping | stats | drain\n");
+    return 2;
+  }
+  serve::Json submit(serve::Json::Object{});
+  submit.set("op", "submit")
+      .set("client", "dpfrun-" + std::to_string(::getpid()))
+      .set("benchmark", args[1])
+      .set("knobs", serve::knob_snapshot_from_env());
+  serve::Json params(serve::Json::Object{});
+  bool checks_hex = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--checks-hex") {
+      checks_hex = true;
+    } else if (a == "--no-cache") {
+      submit.set("no_cache", true);
+    } else if (a == "--trace-summary") {
+      submit.set("trace", true);
+    } else if (a.rfind("--timeout=", 0) == 0) {
+      submit.set("timeout_seconds", std::atof(a.c_str() + 10));
+    } else if (a.rfind("--version=", 0) == 0) {
+      submit.set("version", a.substr(10));
+    } else if (a.rfind("--vps=", 0) == 0) {
+      submit.set("vps", std::atoi(a.c_str() + 6));
+    } else if (a == "--set" && i + 1 < args.size()) {
+      const std::string kv = args[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects key=value, got '%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      params.set(kv.substr(0, eq),
+                 static_cast<long long>(std::atoll(kv.c_str() + eq + 1)));
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  submit.set("params", std::move(params));
+  if (!client.send(submit, &err)) {
+    std::fprintf(stderr, "dpfrun: submit failed: %s\n", err.c_str());
+    return kExitDaemonUnreachable;
+  }
+  serve::Json final_frame;
+  const bool ok = client.stream(
+      [&](const serve::Json& f) {
+        const std::string& type = f["type"].as_string();
+        if (type == "queued") {
+          std::printf("queued as job %lld\n", f["job"].as_int());
+        } else if (type == "progress") {
+          std::printf("  [%lld/%lld] %s\n", f["index"].as_int() + 1,
+                      f["total"].as_int(),
+                      f["benchmark"].as_string().c_str());
+        } else if (type == "trace") {
+          std::printf("%s", f["summary"].as_string().c_str());
+        } else if (type == "result") {
+          print_daemon_result(f, checks_hex);
+        }
+      },
+      &final_frame, &err);
+  if (!ok) {
+    std::fprintf(stderr, "dpfrun: lost daemon connection: %s\n",
+                 err.c_str());
+    return kExitDaemonUnreachable;
+  }
+  const std::string& type = final_frame["type"].as_string();
+  if (type == "rejected") {
+    std::fprintf(stderr, "dpfd rejected the job: %s\n",
+                 final_frame["reason"].as_string().c_str());
+    return kExitDaemonUnreachable;
+  }
+  if (type == "error") {
+    const std::string& reason = final_frame["reason"].as_string();
+    std::fprintf(stderr, "dpfd: job failed: %s\n",
+                 reason.empty() ? final_frame.dump().c_str()
+                                : reason.c_str());
+    return 1;
+  }
+  if (final_frame.contains("error")) {
+    std::fprintf(stderr, "dpfd: %s", final_frame["error"].as_string().c_str());
+    std::string hint;
+    for (const auto& s : final_frame["suggestions"].as_array()) {
+      hint += hint.empty() ? "" : ", ";
+      hint += s.as_string();
+    }
+    if (!hint.empty()) std::fprintf(stderr, " (did you mean: %s?)", hint.c_str());
+    std::fprintf(stderr, "\n");
+  }
+  return static_cast<int>(final_frame["exit"].as_int(0));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -371,6 +578,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--daemon" || cmd.rfind("--daemon=", 0) == 0) {
+    const std::string socket =
+        cmd.rfind("--daemon=", 0) == 0 ? cmd.substr(9) : std::string();
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+    return cmd_daemon(socket, args);
+  }
   if (cmd == "list") {
     const bool long_mode = argc >= 3 && std::strcmp(argv[2], "--long") == 0;
     return cmd_list(long_mode);
