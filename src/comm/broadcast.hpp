@@ -24,6 +24,8 @@ namespace dpf::comm {
 template <typename T, std::size_t R>
 void broadcast_fill(Array<T, R>& dst, T value) {
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(net::mode_for(
+      CommPattern::Broadcast, static_cast<std::uint64_t>(dst.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     const std::vector<T> vals = net::bcast_value(value);
@@ -54,6 +56,8 @@ void spread_into(Array<T, R>& dst, const Array<T, R - 1>& src,
   assert(src.size() == outer * inner);
 
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(
+      net::mode_for(pattern, static_cast<std::uint64_t>(dst.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     // Personalized exchange: destination element L pulls its source element

@@ -163,6 +163,8 @@ void cshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
   const T* sp = src.data().data();
   T* dp = dst.data().data();
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(
+      net::mode_for(pattern, static_cast<std::uint64_t>(src.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     // Ring formulation: each VP packs the rotated-in elements it owns and
@@ -221,6 +223,7 @@ class [[nodiscard]] ShiftHandle {
         pattern_(o.pattern_),
         axis_(o.axis_),
         sh_(o.sh_),
+        mode_(o.mode_),
         start_ns_(o.start_ns_),
         post_end_ns_(o.post_end_ns_),
         finished_(o.finished_) {
@@ -237,6 +240,9 @@ class [[nodiscard]] ShiftHandle {
       finished_ = true;  // empty shift: nothing moved, nothing recorded
       return;
     }
+    // The completion phase (and its record/annotate) must see the mode the
+    // posting phase decided, not whatever the ambient DPF_NET says now.
+    const net::ScopedMode tuned(mode_);
     const bool split = net_.pending();
     const std::uint64_t f0 = trace::now_ns();
     if (split) net_.complete();
@@ -286,6 +292,7 @@ class [[nodiscard]] ShiftHandle {
   CommPattern pattern_ = CommPattern::CShift;
   std::size_t axis_ = 0;
   index_t sh_ = 0;
+  net::Mode mode_ = net::Mode::Direct;  ///< mode decided at start
   std::uint64_t start_ns_ = 0;
   std::uint64_t post_end_ns_ = 0;
   bool finished_ = false;
@@ -320,6 +327,8 @@ template <typename T, std::size_t R>
   const T* sp = src.data().data();
   T* dp = dst.data().data();
   const int p = Machine::instance().vps();
+  h.mode_ = net::mode_for(pattern, static_cast<std::uint64_t>(src.bytes()));
+  const net::ScopedMode tuned(h.mode_);
   if (net::algorithmic() && p > 1) {
     h.net_ = net::post_exchange_planned(
         dp, sp, shift_detail::rotate_plan(dst, src, slab, rot));
@@ -354,6 +363,8 @@ void eoshift_into(Array<T, R>& dst, const Array<T, R>& src, std::size_t axis,
   const T* sp = src.data().data();
   T* dp = dst.data().data();
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(net::mode_for(
+      CommPattern::EOShift, static_cast<std::uint64_t>(src.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     const index_t chi = std::max(copy_lo, copy_hi);
@@ -448,6 +459,10 @@ class [[nodiscard]] ShiftBundle {
     }
     T* dp = dst.data().data();
     const T* sp = src.data().data();
+    // The first member's (pattern, bytes) decides the bundle's mode: every
+    // member must take the same path so the phases fuse.
+    decide_mode(pattern, src.bytes());
+    const net::ScopedMode tuned(mode_);
     if (net::algorithmic() && p > 1) {
       it.plan = shift_detail::rotate_plan(dst, src, slab, rot);
       it.op = net::PlanOp<T>{dp, sp, it.plan.get(), 0, T{}};
@@ -492,6 +507,8 @@ class [[nodiscard]] ShiftBundle {
     }
     T* dp = dst.data().data();
     const T* sp = src.data().data();
+    decide_mode(CommPattern::EOShift, src.bytes());
+    const net::ScopedMode tuned(mode_);
     if (net::algorithmic() && p > 1) {
       it.plan = shift_detail::eoshift_plan(dst, src, slab, s * st, copy_lo,
                                            copy_hi);
@@ -514,6 +531,7 @@ class [[nodiscard]] ShiftBundle {
   void start() {
     assert(!started_);
     started_ = true;
+    const net::ScopedMode tuned(mode_);
     start_ns_ = trace::now_ns();
     if (items_.empty()) {
       post_end_ns_ = start_ns_;
@@ -549,6 +567,7 @@ class [[nodiscard]] ShiftBundle {
     assert(started_ && !finished_);
     finished_ = true;
     if (items_.empty()) return;
+    const net::ScopedMode tuned(mode_);
     const std::uint64_t f0 = trace::now_ns();
     if (split_) {
       std::vector<net::PlanOp<T>> ops;
@@ -583,6 +602,14 @@ class [[nodiscard]] ShiftBundle {
   }
 
  private:
+  /// Fixes the bundle's mode from the first member added; later members
+  /// scope under the same decision regardless of their own sizes.
+  void decide_mode(CommPattern pattern, index_t bytes) {
+    if (mode_decided_) return;
+    mode_ = net::mode_for(pattern, static_cast<std::uint64_t>(bytes));
+    mode_decided_ = true;
+  }
+
   struct Item {
     net::PlanOp<T> op{};
     std::shared_ptr<const net::ExchangePlan> plan;
@@ -598,6 +625,8 @@ class [[nodiscard]] ShiftBundle {
   std::uint64_t posted_bytes_ = 0;
   std::uint64_t start_ns_ = 0;
   std::uint64_t post_end_ns_ = 0;
+  net::Mode mode_ = net::Mode::Direct;  ///< decided by the first member
+  bool mode_decided_ = false;
   bool started_ = false;
   bool split_ = false;
   bool finished_ = false;

@@ -73,6 +73,8 @@ void gather_into(Array<T, RD>& dst, const Array<T, RS>& src,
                  CommPattern pattern = CommPattern::Gather) {
   assert(map.size() == dst.size());
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(
+      net::mode_for(pattern, static_cast<std::uint64_t>(dst.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     const index_t* mp = map.data().data();
@@ -104,6 +106,8 @@ void gather_add_into(Array<T, RD>& dst, const Array<T, RS>& src,
                      CommPattern pattern = CommPattern::GatherCombine) {
   assert(map.size() == src.size());
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(
+      net::mode_for(pattern, static_cast<std::uint64_t>(src.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     // The receiver replays the global ascending-j order, so collisions
@@ -136,6 +140,8 @@ void scatter_into(Array<T, RD>& dst, const Array<T, RS>& src,
                   CommPattern pattern = CommPattern::Scatter) {
   assert(map.size() == src.size());
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(
+      net::mode_for(pattern, static_cast<std::uint64_t>(src.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     // Ascending-j replay on the receiver keeps "highest j wins" intact.
@@ -163,6 +169,8 @@ void scatter_add_into(Array<T, RD>& dst, const Array<T, RS>& src,
                       CommPattern pattern = CommPattern::ScatterCombine) {
   assert(map.size() == src.size());
   const int p = Machine::instance().vps();
+  const net::ScopedMode tuned(
+      net::mode_for(pattern, static_cast<std::uint64_t>(src.bytes())));
   detail::OpTimer timer;
   if (net::algorithmic() && p > 1) {
     net::exchange_combine(
@@ -219,6 +227,7 @@ class [[nodiscard]] ScatterAddHandle {
         map_(o.map_),
         pattern_(o.pattern_),
         net_(std::move(o.net_)),
+        mode_(o.mode_),
         start_ns_(o.start_ns_),
         post_end_ns_(o.post_end_ns_),
         finished_(o.finished_) {
@@ -231,6 +240,8 @@ class [[nodiscard]] ScatterAddHandle {
 
   void finish() {
     assert(!finished_);
+    // The completion phase records under the mode the start phase decided.
+    const net::ScopedMode tuned(mode_);
     const std::uint64_t f0 = trace::now_ns();
     if (net_.pending()) {
       net_.complete();
@@ -276,6 +287,7 @@ class [[nodiscard]] ScatterAddHandle {
   const Array<index_t, RS>* map_ = nullptr;
   CommPattern pattern_ = CommPattern::ScatterCombine;
   net::CombineHandle<T> net_;
+  net::Mode mode_ = net::Mode::Direct;  ///< mode decided at start
   std::uint64_t start_ns_ = 0;
   std::uint64_t post_end_ns_ = 0;
   bool finished_ = false;
@@ -295,6 +307,8 @@ template <typename T, std::size_t RD, std::size_t RS>
   h.pattern_ = pattern;
   h.start_ns_ = trace::now_ns();
   const int p = Machine::instance().vps();
+  h.mode_ = net::mode_for(pattern, static_cast<std::uint64_t>(src.bytes()));
+  const net::ScopedMode tuned(h.mode_);
   if (net::algorithmic() && p > 1) {
     h.net_ = net::post_exchange_combine(
         dst.data().data(), src.data().data(), map.data().data(), src.size(),

@@ -1,0 +1,49 @@
+#include "core/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace dpf::env {
+namespace {
+
+// Once-per-variable warning latch. Reads happen at configuration time, not
+// on any hot path, so a mutexed set is plenty.
+bool first_warning_for(const char* name) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mu);
+  return warned.insert(name).second;
+}
+
+}  // namespace
+
+int int_or(const char* name, int lo, int hi, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    if (first_warning_for(name)) {
+      std::fprintf(stderr,
+                   "dpf: ignoring %s=\"%s\" (expected integer in [%d, %d]); "
+                   "using default %d\n",
+                   name, env, lo, hi, fallback);
+    }
+    return fallback;
+  }
+  if (v < lo || v > hi) {
+    const int clamped = v < lo ? lo : hi;
+    if (first_warning_for(name)) {
+      std::fprintf(stderr,
+                   "dpf: clamping %s=\"%s\" to %d (valid range [%d, %d])\n",
+                   name, env, clamped, lo, hi);
+    }
+    return clamped;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace dpf::env

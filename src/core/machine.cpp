@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/env.hpp"
 #include "trace/trace.hpp"
 
 namespace dpf {
@@ -44,43 +45,17 @@ Machine& Machine::instance() {
   return m;
 }
 
-namespace {
-
-// Integer environment knob in [lo, hi]. A set-but-unparsable or out-of-range
-// value is rejected *loudly*: a one-line stderr warning names the rejected
-// value and the default actually used, instead of silently falling back.
-int env_int_or(const char* name, int lo, int hi, int fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end != env && *end == '\0' && v >= lo && v <= hi) {
-    return static_cast<int>(v);
-  }
-  std::fprintf(stderr,
-               "dpf: ignoring %s=\"%s\" (expected integer in [%d, %d]); "
-               "using default %d\n",
-               name, env, lo, hi, fallback);
-  return fallback;
-}
-
-}  // namespace
-
 int Machine::default_vps() {
-  return env_int_or("DPF_VPS", 1, 4096, 4);
+  return env::int_or("DPF_VPS", 1, 4096, 4);
 }
-
-namespace {
 
 // Worker-thread budget: DPF_WORKERS if set (useful for exercising the
 // multi-threaded barrier on single-core hosts), else hardware concurrency.
-int worker_budget() {
+int Machine::worker_budget() {
   const int hw =
       static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  return env_int_or("DPF_WORKERS", 1, 256, hw);
+  return env::int_or("DPF_WORKERS", 1, 256, hw);
 }
-
-}  // namespace
 
 Machine::Machine() { configure(default_vps()); }
 

@@ -121,6 +121,12 @@ class Machine {
   /// Default VP count: DPF_VPS environment variable if set, else 4.
   [[nodiscard]] static int default_vps();
 
+  /// Worker-thread budget: DPF_WORKERS if set (clamp-or-ignore via
+  /// env::int_or), else hardware concurrency. configure() caps the live
+  /// pool at min(worker_budget(), vps); the dpfd executor compares this
+  /// value between jobs to decide whether a reconfigure is needed.
+  [[nodiscard]] static int worker_budget();
+
   /// Serial number of the last top-level SPMD region started (nested inline
   /// regions do not count). Region boundaries are the machine's only global
   /// barriers; the transport layer uses this counter to enforce that a

@@ -130,8 +130,11 @@ double probe_gamma() {
 double probe_delta() {
   constexpr index_t kSide = 128;
   constexpr index_t kElems = kSide * kSide;
-  auto src = make_matrix<double>(kSide, kSide);
-  auto dst = make_matrix<double>(kSide, kSide);
+  // Library scratch, not user data: under DPF_NET=auto calibration can run
+  // lazily inside a benchmark's memory scope, and a User-kind probe array
+  // would inflate the benchmark's measured peak.
+  auto src = make_matrix<double>(kSide, kSide, MemKind::Temporary);
+  auto dst = make_matrix<double>(kSide, kSide, MemKind::Temporary);
   for (index_t i = 0; i < kElems; ++i) src[i] = static_cast<double>(i);
   // Probe traffic is calibration, not payload: the scope makes the
   // exchange's own EngineRecord non-outermost so nothing reaches CommLog.

@@ -42,8 +42,43 @@ enum class Mode { Direct, Algorithmic, Overlap };
 enum class Backend { Local, Shm };
 
 /// Current mode from the DPF_NET environment variable (read per call so
-/// tests can flip it between collectives).
+/// tests can flip it between collectives). `DPF_NET=auto` resolves to
+/// Direct here — the tuner's per-call choice is installed via ScopedMode by
+/// the dispatching primitive (mode_for), so everything nested under it
+/// (overlap() checks, annotate()) sees the decided mode through this same
+/// accessor.
 [[nodiscard]] Mode mode();
+
+/// True when DPF_NET=auto selects the autotuned dispatch (net/tune.hpp).
+[[nodiscard]] bool auto_enabled();
+
+/// The mode a dispatching primitive should run under: the innermost
+/// ScopedMode override if one is active (nested collectives inherit the
+/// outer decision), else the manual DPF_NET mode, else — under
+/// DPF_NET=auto — the tuner's choice for (pattern, message bytes).
+/// Control thread only, like the collectives themselves.
+[[nodiscard]] Mode mode_for(CommPattern pattern, std::uint64_t bytes);
+
+/// The DPF_NET label for reports and result keys: "auto" when the tuner
+/// drives dispatch (tuned runs must not be conflated with manual ones in
+/// caches or perf JSON), else mode_name(mode()).
+[[nodiscard]] const char* mode_label();
+
+/// RAII thread-local mode override. A dispatching primitive decides its
+/// mode once at the top (mode_for) and installs it for the whole call, so
+/// every nested mode()/algorithmic()/overlap() read — including the
+/// trailing CommLog record and its annotate() — sees the decided mode.
+/// Split-phase handles store the decided mode and re-scope their finish().
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m);
+  ~ScopedMode();
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  int prev_;
+};
 
 /// The DPF_NET spelling of a mode ("direct" | "algorithmic" | "overlap").
 [[nodiscard]] const char* mode_name(Mode m);

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "net/cost_model.hpp"
+#include "net/tune.hpp"
 
 namespace dpf::serve {
 
@@ -66,6 +67,13 @@ class CalibrationCache {
   struct Entry {
     net::CostModel::Params params;
     double peak_mflops = 0.0;
+    /// Autotuner decision table (tentatively present: only configurations
+    /// calibrated under DPF_NET=auto carry one). The persisted form folds
+    /// the engine version in; load drops tables from a different engine —
+    /// the decision evidence is stale — while keeping the cost-model
+    /// params, which are hardware properties.
+    bool has_tune = false;
+    net::TuneTable tune;
   };
 
   [[nodiscard]] static std::string current_config_key();

@@ -10,6 +10,7 @@
 #include "core/machine.hpp"
 #include "core/registry.hpp"
 #include "net/net.hpp"
+#include "net/tune.hpp"
 #include "serve/client_conn.hpp"
 #include "serve/protocol.hpp"
 #include "trace/summary.hpp"
@@ -120,8 +121,7 @@ void reply(const Job& job, const Json& frame) {
 Executor::Executor(JobQueue& queue, ResultStore& store,
                    CalibrationCache& calibration)
     : queue_(queue), store_(store), calibration_(calibration) {
-  const char* we = std::getenv("DPF_WORKERS");
-  configured_workers_env_ = we ? we : "";
+  configured_worker_budget_ = Machine::worker_budget();
 }
 
 Executor::~Executor() {
@@ -152,33 +152,42 @@ Executor::Stats Executor::stats() const {
 void Executor::ensure_machine(const Job& job) {
   Machine& m = Machine::instance();
   const int desired = job.vps > 0 ? job.vps : Machine::default_vps();
-  const char* we = std::getenv("DPF_WORKERS");
-  const std::string workers_env = we ? we : "";
-  if (desired == m.vps() && workers_env == configured_workers_env_) return;
+  const int budget = Machine::worker_budget();
+  if (desired == m.vps() && budget == configured_worker_budget_) return;
   m.configure(desired);
   // The peak-MFLOPS figure belongs to the old grid; clear it so the
   // calibration cache (or a fresh probe) refills it for this one.
   m.set_peak_mflops(0.0);
-  configured_workers_env_ = workers_env;
+  configured_worker_budget_ = budget;
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.reconfigures;
 }
 
 void Executor::ensure_calibrated() {
-  Machine& m = Machine::instance();
-  const std::string key =
-      std::string(net::backend_name(net::backend())) + "|vps=" +
-      std::to_string(m.vps()) + "|workers=" + std::to_string(m.workers());
-  if (key == calibrated_key_) return;
-  if (calibration_.prime()) {
+  net::Tuner& tuner = net::Tuner::instance();
+  const std::string key = net::Tuner::config_signature();
+  const bool want_tune = net::auto_enabled();
+  if (key == calibrated_key_ && (!want_tune || tuner.ready())) return;
+  bool dirty = false;
+  if (key != calibrated_key_) {
+    if (!calibration_.prime()) {
+      net::calibrate(/*force=*/true);
+      dirty = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.calibrations;
+    }
     calibrated_key_ = key;
-    return;
   }
-  net::calibrate(/*force=*/true);
-  calibration_.capture();  // reads params + peak (probing peak if needed)
-  calibrated_key_ = key;
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.calibrations;
+  // A tuned job on a configuration whose entry predates the tuner (or was
+  // captured under a manual mode) probes the decision table here — once —
+  // and re-captures so the next daemon restart primes it for free.
+  if (want_tune && !tuner.ready()) {
+    tuner.ensure();
+    dirty = dirty || tuner.ready();
+  }
+  if (dirty) {
+    calibration_.capture();  // reads params + peak (probing peak if needed)
+  }
 }
 
 Json Executor::run_one(Job& job, const std::string& name, bool last) {
@@ -217,7 +226,7 @@ Json Executor::run_one(Job& job, const std::string& name, bool last) {
   key.version = job.version.empty() ? "basic" : job.version;
   key.vps = m.vps();
   key.workers = m.workers();
-  key.net_mode = net::mode_name(net::mode());
+  key.net_mode = net::mode_label();
   key.net_backend = net::backend_name(net::backend());
   key.simd = vec::enabled();
   for (const auto& [k, v] : def->default_params) {

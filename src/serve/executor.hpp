@@ -78,10 +78,13 @@ class Executor {
   std::thread thread_;
   bool started_ = false;
 
-  /// DPF_WORKERS string in effect when the machine pool was last
-  /// (re)built; together with Machine::vps() it decides whether a job
-  /// needs a reconfigure at all.
-  std::string configured_workers_env_;
+  /// Worker budget (Machine::worker_budget(), i.e. the parsed, clamped
+  /// DPF_WORKERS) in effect when the machine pool was last (re)built;
+  /// together with Machine::vps() it decides whether a job needs a
+  /// reconfigure at all. Comparing the parsed value — not the raw string —
+  /// means a job knob of "abc" or "9999" reconfigures exactly when a CLI
+  /// run with the same value would.
+  int configured_worker_budget_ = 0;
 
   /// backend|vps|workers key whose calibration is currently installed.
   std::string calibrated_key_;

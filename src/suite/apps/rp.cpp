@@ -84,7 +84,10 @@ void apply(RpState& s, const Array3<double>& p, Array3<double>& q,
       return acc;
     };
   };
-  if (net::algorithmic() && Machine::instance().vps() > 1) {
+  if (Machine::instance().vps() > 1 &&
+      net::mode_for(CommPattern::Stencil,
+                    static_cast<std::uint64_t>(p.bytes())) !=
+          net::Mode::Direct) {
     // Interior-first: all six face halos post as one bundle (one posting
     // region, one local region); the halo-independent interior of q runs
     // inside the in-flight window, the block-edge shell after the consume.

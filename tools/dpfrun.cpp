@@ -7,7 +7,7 @@
 ///   dpfrun run <benchmark> [--version=basic|optimized|library|cmssl|cdpeac]
 ///                          [--vps=N] [--set key=value ...]
 ///                          [--trace FILE.json|FILE.csv]
-///                          [--report comm|trace] [--checks-hex]
+///                          [--report comm|trace|tune] [--checks-hex]
 ///   dpfrun --daemon[=SOCKET] run <benchmark> [run options]
 ///                                [--no-cache] [--timeout=SECONDS]
 ///   dpfrun --daemon[=SOCKET] ping | stats | drain
@@ -42,6 +42,12 @@
 /// adds a router-pod status line, and a Chrome trace gains one "dpf net"
 /// track per router process with its delivery spans.
 ///
+/// DPF_NET=auto hands the mode decision to the dpf::tune autotuner: the
+/// cost model is calibrated, a short probe pass picks a mode per (pattern
+/// class, message size) cell, and the run dispatches through the resulting
+/// decision table. `--report tune` prints that table — chosen vs
+/// alternatives with predicted and measured costs per cell — after the run.
+///
 /// Examples:
 ///   dpfrun run conj-grad --set n=4096 --version=optimized
 ///   dpfrun run fft --set n=1024 --set dims=2 --vps=8
@@ -63,6 +69,7 @@
 #include "core/registry.hpp"
 #include "net/net.hpp"
 #include "net/proc.hpp"
+#include "net/tune.hpp"
 #include "net/shm_transport.hpp"
 #include "serve/client.hpp"
 #include "serve/json.hpp"
@@ -70,6 +77,7 @@
 #include "trace/chrome_export.hpp"
 #include "trace/summary.hpp"
 #include "trace/trace.hpp"
+#include "vec/vec.hpp"
 
 namespace {
 
@@ -113,14 +121,14 @@ int cmd_list(bool long_mode) {
   if (long_mode) {
     std::printf(
         "\nnet knobs (current values):\n"
-        "  DPF_NET=%s          direct|algorithmic|overlap formulation\n"
+        "  DPF_NET=%s          direct|algorithmic|overlap|auto formulation\n"
         "  DPF_NET_BACKEND=%s  local|shm transport (shm = multi-process "
         "router pod)\n"
         "  DPF_NET_PROCS=%d    router processes for the shm backend "
         "(0 = self-delivery)\n"
         "  DPF_NET_SHM_RING    per-pair ring bytes for the shm backend "
         "(default 4 MiB)\n",
-        net::mode_name(net::mode()), net::backend_name(net::backend()),
+        net::mode_label(), net::backend_name(net::backend()),
         net::proc::env_procs(Machine::instance().vps()));
   }
   return 0;
@@ -196,6 +204,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   std::string trace_path;
   bool report_comm = false;
   bool report_trace = false;
+  bool report_tune = false;
   bool checks_hex = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -213,8 +222,11 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
         report_comm = true;
       } else if (what == "trace") {
         report_trace = true;
+      } else if (what == "tune") {
+        report_tune = true;
       } else {
-        std::fprintf(stderr, "unknown report '%s' (supported: comm, trace)\n",
+        std::fprintf(stderr,
+                     "unknown report '%s' (supported: comm, trace, tune)\n",
                      what.c_str());
         return 2;
       }
@@ -257,8 +269,22 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   }
 
   // Calibrate the cost model before the run so every recorded event carries
-  // a prediction alongside its measured time.
-  if (report_comm || report_trace || chrome_trace) net::calibrate();
+  // a prediction alongside its measured time. Tuned runs calibrate too —
+  // the tuner cross-checks model predictions against its measured probes.
+  if (report_comm || report_trace || chrome_trace || report_tune ||
+      net::auto_enabled()) {
+    net::calibrate();
+  }
+  if (report_tune || net::auto_enabled()) {
+    // Probe the decision table eagerly, outside the measured run. The SIMD
+    // recommendation is applied only when the user has not pinned DPF_SIMD
+    // themselves — an explicit knob always wins over the tuner.
+    net::Tuner::instance().ensure();
+    if (net::auto_enabled() && std::getenv("DPF_SIMD") == nullptr &&
+        net::Tuner::instance().ready()) {
+      vec::set_enabled(net::Tuner::instance().table().simd_on);
+    }
+  }
 
   if (!trace_path.empty()) CommLog::instance().reset();
   if (chrome_trace || report_trace) trace::reset();
@@ -332,7 +358,7 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     std::printf(
         "\ncommunication report (DPF_NET=%s, backend %s, transport %s, "
         "%d VPs):\n",
-        net::mode_name(net::mode()), net::backend_name(net::backend()),
+        net::mode_label(), net::backend_name(net::backend()),
         tp.name(), Machine::instance().vps());
     const auto ts = tp.stats();
     std::printf("  transport traffic      : %llu messages, %llu bytes\n",
@@ -403,6 +429,37 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
   }
   if (report_trace) {
     std::printf("\n%s", trace::format_trace_summary(trace_snap).c_str());
+  }
+  if (report_tune) {
+    const net::Tuner& tuner = net::Tuner::instance();
+    std::printf("\nautotuner decision table (%s):\n",
+                net::Tuner::config_signature().c_str());
+    if (!tuner.ready()) {
+      std::printf("  (no decision table — probes could not run in this "
+                  "configuration)\n");
+    } else {
+      const net::TuneTable& t = tuner.table();
+      std::printf("  %-14s %9s  %-12s %6s  %s\n", "pattern class", "size",
+                  "chosen", "blocks", "measured/predicted per mode (ms)");
+      for (const auto& c : t.choices) {
+        std::string alts;
+        for (int m = 0; m < net::kTuneModes; ++m) {
+          char buf[96];
+          std::snprintf(buf, sizeof buf, "%s%s%s=%.3f/%.3f", m ? "  " : "",
+                        m == c.chosen ? "*" : "",
+                        net::mode_name(static_cast<net::Mode>(m)),
+                        c.measured[m] * 1e3, c.predicted[m] * 1e3);
+          alts += buf;
+        }
+        std::printf("  %-14s %6.0fKiB  %-12s %6d  %s\n",
+                    net::pattern_class_name(c.klass),
+                    static_cast<double>(1ull << c.log2_bytes) / 1024.0,
+                    net::mode_name(static_cast<net::Mode>(c.chosen)),
+                    c.blocks, alts.c_str());
+      }
+      std::printf("  simd recommendation    : %s (scalar/simd ratio %.2f)\n",
+                  t.simd_on ? "on" : "off", t.simd_ratio);
+    }
   }
   const auto it = r.checks.find("residual");
   return (it != r.checks.end() && it->second > 1e-3) ? 1 : 0;

@@ -10,6 +10,9 @@ regressed by more than the noise bound. CI produces the current file with
         BENCH_perf.json
     python3 tools/perf_gate.py --current BENCH_perf.json
 
+The perf JSON is a CI artifact, not a committed file: the workflow uploads
+it (artifact `dpf-perf-smoke`) and .gitignore keeps it out of the tree.
+
 Elapsed times are normalized by the calibrated machine peak (elapsed *
 peak_mflops) so the comparison tracks *work per peak-FLOP* rather than raw
 wall time — a slower CI host inflates elapsed and deflates the calibrated
@@ -17,10 +20,23 @@ peak together, keeping the product roughly host-independent. Benchmarks
 whose baseline elapsed is under the absolute floor are reported but never
 fail the gate: at sub-millisecond scale, scheduler jitter dominates.
 
+`--only a,b,c` restricts gating to a subset of the gated list (the tuned
+perf smoke checks just the comm-bound four this way).
+
 Refresh the baseline (after an intentional perf change, best-of-5 on a
 quiet machine) with:
 
     python3 tools/perf_gate.py --current BENCH_perf.json --update
+
+--update refuses when any gated entry's elapsed sits under the jitter
+floor — a baseline made of noise gates nothing. Pass --allow-sub-floor to
+force it through (with a loud warning) when the sub-floor timing is the
+honest steady state.
+
+All malformed-input paths (missing file, invalid JSON, missing machine /
+peak_mflops / benchmarks keys) exit 2 with a one-line diagnostic rather
+than a traceback — exit 2 means "could not compare", exit 1 means
+"compared and regressed".
 """
 
 import argparse
@@ -35,43 +51,88 @@ TOLERANCE = 0.15       # >15% normalized-elapsed growth fails the gate
 FLOOR_SECONDS = 1e-3   # baselines faster than this are jitter, not signal
 
 
+class GateError(Exception):
+    """A diagnosable input problem: print one line, exit 2."""
+
+
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise GateError(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise GateError(f"{path} is not valid JSON ({e})")
+
+
+def validate(doc, path):
+    """Checks the shape perf_gate relies on, with named-key diagnostics."""
+    if not isinstance(doc, dict):
+        raise GateError(f"{path}: top level must be a JSON object")
+    machine = doc.get("machine")
+    if not isinstance(machine, dict):
+        raise GateError(f"{path}: missing 'machine' object — was this "
+                        f"written by bench/perf_suite?")
+    peak = machine.get("peak_mflops")
+    if not isinstance(peak, (int, float)) or peak <= 0:
+        raise GateError(f"{path}: machine.peak_mflops missing or "
+                        f"non-positive ({peak!r}); cannot normalize elapsed "
+                        f"times")
+    if "vps" not in machine or "simd" not in machine:
+        raise GateError(f"{path}: machine block lacks vps/simd — "
+                        f"schema too old to compare")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list):
+        raise GateError(f"{path}: missing 'benchmarks' array")
+    for b in benches:
+        if not isinstance(b, dict) or "name" not in b or "elapsed_s" not in b:
+            raise GateError(f"{path}: benchmark entry without name/"
+                            f"elapsed_s: {b!r}")
+    return doc
 
 
 def by_name(doc):
-    return {b["name"]: b for b in doc.get("benchmarks", [])}
+    return {b["name"]: b for b in doc["benchmarks"]}
 
 
 def normalized_elapsed(doc, bench):
     return bench["elapsed_s"] * doc["machine"]["peak_mflops"]
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--current", default="BENCH_perf.json",
-                    help="freshly measured perf JSON (default BENCH_perf.json)")
-    ap.add_argument("--baseline", default=BASELINE_DEFAULT,
-                    help=f"committed baseline (default {BASELINE_DEFAULT})")
-    ap.add_argument("--tolerance", type=float, default=TOLERANCE,
-                    help=f"allowed fractional growth (default {TOLERANCE})")
-    ap.add_argument("--update", action="store_true",
-                    help="rewrite the baseline from --current and exit")
-    args = ap.parse_args()
+def parse_only(spec):
+    names = [n for n in (spec or "").split(",") if n]
+    unknown = [n for n in names if n not in GATED]
+    if unknown:
+        raise GateError(f"--only names not in the gated set: "
+                        f"{','.join(unknown)} (gated: {','.join(GATED)})")
+    return names or list(GATED)
 
-    current = load(args.current)
+
+def run(args):
+    gated = parse_only(args.only)
+    current = validate(load(args.current), args.current)
     cur = by_name(current)
-    missing = [n for n in GATED if n not in cur]
+    missing = [n for n in gated if n not in cur]
     if missing:
-        print(f"perf_gate: {args.current} is missing {missing}; "
-              f"run perf_suite --only {','.join(GATED)} first")
-        return 2
+        raise GateError(f"{args.current} is missing {missing}; "
+                        f"run perf_suite --only {','.join(gated)} first")
 
     if args.update:
+        sub_floor = [n for n in gated
+                     if cur[n]["elapsed_s"] < FLOOR_SECONDS]
+        if sub_floor:
+            msg = (f"perf_gate: {args.current} has sub-floor "
+                   f"(<{FLOOR_SECONDS:g}s) timings for "
+                   f"{', '.join(sub_floor)} — such a baseline is jitter "
+                   f"and gates nothing.")
+            if not args.allow_sub_floor:
+                raise GateError(
+                    msg + " Re-measure at a larger problem size, or pass "
+                          "--allow-sub-floor to force the update.")
+            print(msg + " Updating anyway (--allow-sub-floor).")
         slim = {
             "machine": current["machine"],
-            "benchmarks": [cur[n] for n in GATED],
+            "benchmarks": [cur[n] for n in gated],
         }
         with open(args.baseline, "w") as f:
             json.dump(slim, f, indent=2)
@@ -80,20 +141,23 @@ def main():
               f"{args.current}")
         return 0
 
-    baseline = load(args.baseline)
+    baseline = validate(load(args.baseline), args.baseline)
     base = by_name(baseline)
+    missing = [n for n in gated if n not in base]
+    if missing:
+        raise GateError(f"{args.baseline} is missing {missing}; refresh it "
+                        f"with --update")
 
     if current["machine"]["vps"] != baseline["machine"]["vps"] or \
        current["machine"]["simd"] != baseline["machine"]["simd"]:
-        print(f"perf_gate: machine config mismatch — baseline "
-              f"{baseline['machine']}, current {current['machine']}; "
-              f"not comparable")
-        return 2
+        raise GateError(f"machine config mismatch — baseline "
+                        f"{baseline['machine']}, current "
+                        f"{current['machine']}; not comparable")
 
     print(f"{'benchmark':<16} {'base(s)':>10} {'now(s)':>10} "
           f"{'norm ratio':>10}  verdict")
     failures = []
-    for name in GATED:
+    for name in gated:
         b, c = base[name], cur[name]
         nb = normalized_elapsed(baseline, b)
         nc = normalized_elapsed(current, c)
@@ -116,6 +180,28 @@ def main():
         return 1
     print("\nperf_gate: pass")
     return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", default="BENCH_perf.json",
+                    help="freshly measured perf JSON (default BENCH_perf.json)")
+    ap.add_argument("--baseline", default=BASELINE_DEFAULT,
+                    help=f"committed baseline (default {BASELINE_DEFAULT})")
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE,
+                    help=f"allowed fractional growth (default {TOLERANCE})")
+    ap.add_argument("--only", default="",
+                    help="comma-separated subset of the gated benchmarks")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from --current and exit")
+    ap.add_argument("--allow-sub-floor", action="store_true",
+                    help="let --update through despite sub-floor timings")
+    args = ap.parse_args()
+    try:
+        return run(args)
+    except GateError as e:
+        print(f"perf_gate: {e}")
+        return 2
 
 
 if __name__ == "__main__":
